@@ -1,0 +1,39 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every binary prints the series/rows of one paper figure or table. Sizes
+// default to laptop-friendly values; set RETRUST_BENCH_SCALE (a float,
+// default 1.0) to scale tuple counts up toward the paper's sizes.
+
+#ifndef RETRUST_BENCH_BENCH_COMMON_H_
+#define RETRUST_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace retrust::bench {
+
+/// RETRUST_BENCH_SCALE env var (default 1.0, clamped to [0.05, 100]).
+inline double Scale() {
+  const char* s = std::getenv("RETRUST_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  double v = std::atof(s);
+  if (v < 0.05) v = 0.05;
+  if (v > 100) v = 100;
+  return v;
+}
+
+/// Scaled tuple count.
+inline int ScaledN(int base) { return static_cast<int>(base * Scale()); }
+
+/// Prints a banner naming the figure being reproduced.
+inline void Banner(const char* figure, const char* what) {
+  std::printf("=== %s: %s ===\n", figure, what);
+  std::printf("(scale=%.2f via RETRUST_BENCH_SCALE; shapes, not absolute "
+              "numbers, are the reproduction target)\n\n",
+              Scale());
+}
+
+}  // namespace retrust::bench
+
+#endif  // RETRUST_BENCH_BENCH_COMMON_H_

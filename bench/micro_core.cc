@@ -1,0 +1,116 @@
+// Google-benchmark micro suite for the hot kernels: encoding, conflict
+// graph construction, vertex cover, difference-set indexing, heuristic
+// evaluation, and the data-repair pass.
+
+#include <benchmark/benchmark.h>
+
+#include "src/eval/experiment.h"
+
+using namespace retrust;
+
+namespace {
+
+ExperimentData& SharedData(int n) {
+  static std::map<int, ExperimentData> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    CensusConfig gen;
+    gen.num_tuples = n;
+    gen.num_attrs = 14;
+    gen.planted_lhs_sizes = {5};
+    gen.seed = 42;
+    PerturbOptions perturb;
+    perturb.fd_error_rate = 0.4;
+    perturb.data_error_rate = 0.02;
+    perturb.seed = 7;
+    it = cache.emplace(n, PrepareExperiment(gen, perturb)).first;
+  }
+  return it->second;
+}
+
+void BM_Encode(benchmark::State& state) {
+  ExperimentData& d = SharedData(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    EncodedInstance enc(d.dirty_instance);
+    benchmark::DoNotOptimize(enc.NumTuples());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Encode)->Arg(1000)->Arg(4000);
+
+void BM_BuildConflictGraph(benchmark::State& state) {
+  ExperimentData& d = SharedData(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ConflictGraph cg = BuildConflictGraph((*d.encoded), d.dirty.fds);
+    benchmark::DoNotOptimize(cg.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildConflictGraph)->Arg(1000)->Arg(4000);
+
+void BM_GreedyVertexCover(benchmark::State& state) {
+  ExperimentData& d = SharedData(static_cast<int>(state.range(0)));
+  ConflictGraph cg = BuildConflictGraph((*d.encoded), d.dirty.fds);
+  for (auto _ : state) {
+    auto cover = GreedyVertexCover(cg.graph);
+    benchmark::DoNotOptimize(cover.size());
+  }
+}
+BENCHMARK(BM_GreedyVertexCover)->Arg(1000)->Arg(4000);
+
+void BM_DiffSetIndex(benchmark::State& state) {
+  ExperimentData& d = SharedData(static_cast<int>(state.range(0)));
+  ConflictGraph cg = BuildConflictGraph((*d.encoded), d.dirty.fds);
+  for (auto _ : state) {
+    DifferenceSetIndex idx((*d.encoded), cg);
+    benchmark::DoNotOptimize(idx.size());
+  }
+}
+BENCHMARK(BM_DiffSetIndex)->Arg(1000)->Arg(4000);
+
+void BM_GcHeuristicRoot(benchmark::State& state) {
+  ExperimentData& d = SharedData(4000);
+  SearchState root = SearchState::Root(d.dirty.fds.size());
+  int64_t tau = TauFromRelative(0.2, d.root_delta_p);
+  SearchStats stats;
+  for (auto _ : state) {
+    double gc = d.context->heuristic().Compute(root, tau, &stats);
+    benchmark::DoNotOptimize(gc);
+  }
+}
+BENCHMARK(BM_GcHeuristicRoot);
+
+void BM_RepairData(benchmark::State& state) {
+  ExperimentData& d = SharedData(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Rng rng(1);
+    DataRepairResult r = RepairData((*d.encoded), d.dirty.fds, &rng);
+    benchmark::DoNotOptimize(r.changed_cells.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RepairData)->Arg(1000)->Arg(4000);
+
+void BM_DistinctCountWeight(benchmark::State& state) {
+  ExperimentData& d = SharedData(4000);
+  AttrSet y{0, 3, 7};
+  for (auto _ : state) {
+    DistinctCountWeight w((*d.encoded));  // cold cache each iteration
+    benchmark::DoNotOptimize(w.Weight(y));
+  }
+}
+BENCHMARK(BM_DistinctCountWeight);
+
+void BM_ModifyFdsAStar(benchmark::State& state) {
+  ExperimentData& d = SharedData(2000);
+  int64_t tau = TauFromRelative(0.25, d.root_delta_p);
+  for (auto _ : state) {
+    ModifyFdsResult r = ModifyFds(*d.context, tau);
+    benchmark::DoNotOptimize(r.stats.states_visited);
+  }
+}
+BENCHMARK(BM_ModifyFdsAStar);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Shared experiment harness: generate clean data + FDs, perturb both, run a
+// repair, score it. Every bench binary (Figures 7-13) is a thin driver over
+// these helpers.
+
+#ifndef RETRUST_EVAL_EXPERIMENT_H_
+#define RETRUST_EVAL_EXPERIMENT_H_
+
+#include <memory>
+
+#include "src/eval/generator.h"
+#include "src/eval/metrics.h"
+#include "src/eval/perturb.h"
+#include "src/repair/repair_driver.h"
+#include "src/repair/unified_cost.h"
+
+namespace retrust {
+
+/// Which w(Y) to use.
+enum class WeightKind { kDistinctCount, kCardinality, kEntropy };
+
+/// Everything a repair experiment needs, prepared once and reused across
+/// τ sweeps / search modes.
+struct ExperimentData {
+  GeneratedData clean;          ///< Ic, Σc
+  PerturbedData dirty;          ///< Id, Σd + ground truth
+  Instance dirty_instance;      ///< alias of dirty.data (kept for clarity)
+  /// Encoding of Id (the algorithm input). Heap-pinned: `weights` and
+  /// `context` hold references into it, which must survive moves of this
+  /// struct (e.g. storing ExperimentData in containers).
+  std::unique_ptr<EncodedInstance> encoded;
+  std::unique_ptr<WeightFunction> weights;
+  std::unique_ptr<FdSearchContext> context;  ///< Σd/Id search context
+  int64_t root_delta_p = 0;     ///< δP(Σd, Id): τr = 100% maps here
+};
+
+/// Generates, perturbs, encodes, and builds the search context.
+ExperimentData PrepareExperiment(const CensusConfig& gen,
+                                 const PerturbOptions& perturb,
+                                 WeightKind weights = WeightKind::kDistinctCount,
+                                 const HeuristicOptions& hopts = {});
+
+/// Runs Algorithm 1 at relative trust τr and scores the result against the
+/// ground truth. Returns quality plus the raw repair.
+struct ExperimentRun {
+  bool repaired = false;
+  RepairQuality quality;
+  SearchStats stats;
+  int64_t tau = 0;
+  double distc = 0.0;
+  int64_t cells_changed = 0;
+  std::optional<Repair> repair;
+};
+
+ExperimentRun RunRepairAt(const ExperimentData& data, double tau_r,
+                          SearchMode mode = SearchMode::kAStar,
+                          uint64_t seed = 1);
+
+/// Runs the unified-cost baseline on the same prepared data and scores it.
+ExperimentRun RunUnifiedCost(const ExperimentData& data,
+                             const UnifiedCostOptions& opts = {});
+
+/// Scores an arbitrary repair against the prepared ground truth.
+RepairQuality ScoreRepair(const ExperimentData& data, const Repair& repair);
+
+}  // namespace retrust
+
+#endif  // RETRUST_EVAL_EXPERIMENT_H_

@@ -1,0 +1,138 @@
+#include "src/eval/generator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+
+namespace retrust {
+
+const std::vector<std::string>& CensusAttributeNames() {
+  static const std::vector<std::string> kNames = {
+      "age",            "class_of_worker", "industry",       "occupation",
+      "education",      "wage_per_hour",   "enrolled_edu",   "marital_status",
+      "major_industry", "major_occ",       "race",           "hispanic",
+      "sex",            "union_member",    "unemp_reason",   "employ_stat",
+      "capital_gains",  "capital_losses",  "dividends",      "tax_status",
+      "region_prev",    "state_prev",      "household_stat", "household_sum",
+      "instance_wt",    "mig_msa",         "mig_reg",        "mig_within",
+      "same_house",     "prev_sunbelt",    "num_employer",   "parents",
+      "father_birth",   "mother_birth",    "self_birth",     "citizenship",
+      "own_business",   "veteran_admin",   "veteran_benefit", "weeks_worked"};
+  return kNames;
+}
+
+GeneratedData GenerateCensusLike(const CensusConfig& cfg) {
+  const int p = static_cast<int>(cfg.planted_lhs_sizes.size());
+  const int m = cfg.num_attrs;
+  if (m > static_cast<int>(CensusAttributeNames().size())) {
+    throw std::invalid_argument("num_attrs exceeds available census names");
+  }
+  int widest = 0;
+  for (int s : cfg.planted_lhs_sizes) widest = std::max(widest, s);
+  int num_base = cfg.num_base_attrs;
+  if (num_base == 0) num_base = std::max(widest, (m - p) * 2 / 3);
+  if (num_base < widest || num_base + p > m) {
+    throw std::invalid_argument(
+        "schema too narrow for the planted FDs (need base >= widest LHS and "
+        "base + planted <= num_attrs)");
+  }
+
+  // Schema: base attrs [0, num_base), derived [num_base, num_base + p),
+  // noise [num_base + p, m). All integer-typed categorical codes.
+  std::vector<Attribute> attrs(m);
+  for (int a = 0; a < m; ++a) {
+    attrs[a] = {CensusAttributeNames()[a], AttrType::kInt};
+  }
+  Instance inst{Schema(std::move(attrs))};
+
+  // Base attributes have heterogeneous cardinalities (census columns range
+  // from sex-like to occupation-like): attribute a draws from a domain of
+  // size growing with a. Planted FDs put their LHS on the HIGH-cardinality
+  // (informative) attributes — matching real FDs, whose determining
+  // attributes are informative and therefore expensive to (re-)append under
+  // distinct-count weights, while the cheap uninformative columns form the
+  // large set of useless candidate extensions the searches must reject.
+  std::vector<int> base_domain(num_base);
+  for (int a = 0; a < num_base; ++a) {
+    base_domain[a] =
+        std::max(3, cfg.domain_size * (a + 1) / std::max(1, num_base));
+  }
+  std::vector<FD> planted;
+  for (int j = 0; j < p; ++j) {
+    AttrSet lhs;
+    int s = cfg.planted_lhs_sizes[j];
+    for (int i = 0; i < s; ++i) {
+      lhs.Add(num_base - 1 - ((j * 2 + i) % num_base));
+    }
+    planted.emplace_back(lhs, num_base + j);
+  }
+
+  Rng rng(cfg.seed);
+  // Entity pool: each entity fixes the base attribute values. Entities are
+  // drawn from a small pool of archetypes with light per-attribute
+  // mutation, which correlates base attributes the way real census columns
+  // correlate — two entities that agree on part of an FD's LHS then mostly
+  // agree on the other base attributes too, so only genuinely informative
+  // attributes can separate violating tuple pairs.
+  int num_entities =
+      std::max(2, cfg.num_tuples / std::max(1, cfg.dup_factor));
+  int num_archetypes = std::max(4, num_entities / 16);
+  std::vector<std::vector<int64_t>> archetypes(num_archetypes);
+  for (auto& arch : archetypes) {
+    arch.resize(num_base);
+    for (int a = 0; a < num_base; ++a) {
+      arch[a] =
+          static_cast<int64_t>(rng.NextZipf(base_domain[a], cfg.zipf_s));
+    }
+  }
+  std::vector<std::vector<int64_t>> entities(num_entities);
+  for (auto& e : entities) {
+    e = archetypes[rng.PickIndex(archetypes)];
+    for (int a = 0; a < num_base; ++a) {
+      if (rng.NextBool(0.15)) {
+        e[a] =
+            static_cast<int64_t>(rng.NextZipf(base_domain[a], cfg.zipf_s));
+      }
+    }
+  }
+
+  for (int t = 0; t < cfg.num_tuples; ++t) {
+    // Uniform entity popularity keeps duplicate clusters near dup_factor;
+    // zipf popularity would create giant clusters whose cross-agreements
+    // blow the conflict graph up quadratically.
+    const auto& entity = entities[rng.NextUint(entities.size())];
+    Tuple row(m);
+    for (int a = 0; a < num_base; ++a) row[a] = Value(entity[a]);
+    // Derived attributes: a pure function of the LHS projection, so the
+    // planted FD holds exactly across ALL tuples (not just within an
+    // entity cluster).
+    for (int j = 0; j < p; ++j) {
+      uint64_t h = 0x5bd1e995u + static_cast<uint64_t>(j) * 0x9e3779b9u;
+      for (AttrId a : planted[j].lhs) {
+        HashCombine(&h, static_cast<uint64_t>(entity[a]));
+      }
+      row[num_base + j] =
+          Value(static_cast<int64_t>(h % static_cast<uint64_t>(
+                                         cfg.domain_size)));
+    }
+    // Noise attributes: independent, low-cardinality, heavily skewed
+    // (flag-like census columns: sex, union_member, ...). They are CHEAP to
+    // append under distinct-count weights but agree between most tuple
+    // pairs, so appending them resolves (almost) nothing — the large pool
+    // of cheap-but-useless extension candidates that uninformed best-first
+    // search drowns in (paper §8.3).
+    for (int a = num_base + p; a < m; ++a) {
+      row[a] = Value(static_cast<int64_t>(rng.NextZipf(5, 1.2)));
+    }
+    inst.AddTuple(std::move(row));
+  }
+
+  GeneratedData out;
+  out.instance = std::move(inst);
+  out.planted_fds = FDSet(std::move(planted));
+  return out;
+}
+
+}  // namespace retrust

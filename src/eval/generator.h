@@ -1,0 +1,66 @@
+// Census-like synthetic data generation.
+//
+// The paper evaluates on the UCI Census-Income (KDD) data set (300k tuples,
+// 40 attributes) with FDs found by a discovery pass. That data set is not
+// available offline, so this generator produces a relation with the same
+// structural properties the experiments consume (see DESIGN.md §5):
+//
+//   * categorical attributes with zipfian value skew;
+//   * clusters of near-duplicate tuples (an "entity" model), so that tuple
+//     pairs agreeing on wide attribute sets exist — the precondition for
+//     the paper's violation-injection procedures;
+//   * a configurable set of PLANTED exact FDs (derived attributes computed
+//     as a function of their LHS projection), which play the role of the
+//     discovered FDs Σc;
+//   * independent noise attributes to pad the schema to census width.
+//
+// The layout is: [base attributes][derived attributes][noise attributes].
+
+#ifndef RETRUST_EVAL_GENERATOR_H_
+#define RETRUST_EVAL_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fd/fdset.h"
+#include "src/relational/instance.h"
+
+namespace retrust {
+
+/// Configuration of the census-like generator.
+struct CensusConfig {
+  int num_tuples = 5000;
+  /// Total schema width (capped at 40 named attributes).
+  int num_attrs = 10;
+  /// One planted FD per entry: the entry is the LHS size (paper uses 6).
+  std::vector<int> planted_lhs_sizes = {6};
+  /// Number of base attributes; 0 = auto (2/3 of the non-derived width,
+  /// at least the widest planted LHS).
+  int num_base_attrs = 0;
+  /// Domain size per attribute.
+  int domain_size = 40;
+  /// Zipf skew for value and entity popularity.
+  double zipf_s = 0.7;
+  /// Average number of tuples per entity cluster (controls how many
+  /// wide-agreement tuple pairs exist).
+  int dup_factor = 4;
+  uint64_t seed = 42;
+};
+
+/// Generator output: a clean instance and the FDs that hold on it exactly.
+struct GeneratedData {
+  Instance instance;   ///< Ic
+  FDSet planted_fds;   ///< Σc — exact on `instance` by construction
+};
+
+/// Generates a clean census-like instance with planted FDs. Deterministic
+/// given the config (including seed). Throws std::invalid_argument on
+/// inconsistent configs (e.g. schema too narrow for the planted FDs).
+GeneratedData GenerateCensusLike(const CensusConfig& cfg);
+
+/// The 40 census-flavored attribute names the generator draws from.
+const std::vector<std::string>& CensusAttributeNames();
+
+}  // namespace retrust
+
+#endif  // RETRUST_EVAL_GENERATOR_H_

@@ -1,0 +1,55 @@
+#include "src/eval/metrics.h"
+
+#include <stdexcept>
+
+namespace retrust {
+
+PrecisionRecall EvaluateDataRepair(const Instance& clean,
+                                   const Instance& dirty,
+                                   const Instance& repaired) {
+  if (clean.NumTuples() != dirty.NumTuples() ||
+      dirty.NumTuples() != repaired.NumTuples()) {
+    throw std::invalid_argument("instances must have equal cardinality");
+  }
+  PrecisionRecall pr;
+  for (TupleId t = 0; t < clean.NumTuples(); ++t) {
+    for (AttrId a = 0; a < clean.NumAttrs(); ++a) {
+      bool erroneous = clean.At(t, a) != dirty.At(t, a);
+      bool modified = dirty.At(t, a) != repaired.At(t, a);
+      if (erroneous) ++pr.truth;
+      if (modified) ++pr.proposed;
+      if (erroneous && modified &&
+          (repaired.At(t, a).is_variable() ||
+           repaired.At(t, a) == clean.At(t, a))) {
+        ++pr.correct;
+      }
+    }
+  }
+  pr.precision = pr.proposed > 0
+                     ? static_cast<double>(pr.correct) / pr.proposed
+                     : 1.0;
+  pr.recall =
+      pr.truth > 0 ? static_cast<double>(pr.correct) / pr.truth : 1.0;
+  return pr;
+}
+
+PrecisionRecall EvaluateFdRepair(const std::vector<AttrSet>& appended,
+                                 const std::vector<AttrSet>& removed) {
+  if (appended.size() != removed.size()) {
+    throw std::invalid_argument("appended/removed vectors must align");
+  }
+  PrecisionRecall pr;
+  for (size_t i = 0; i < appended.size(); ++i) {
+    pr.proposed += appended[i].Count();
+    pr.truth += removed[i].Count();
+    pr.correct += appended[i].Intersect(removed[i]).Count();
+  }
+  pr.precision = pr.proposed > 0
+                     ? static_cast<double>(pr.correct) / pr.proposed
+                     : 1.0;
+  pr.recall =
+      pr.truth > 0 ? static_cast<double>(pr.correct) / pr.truth : 1.0;
+  return pr;
+}
+
+}  // namespace retrust

@@ -1,0 +1,61 @@
+// Repair-quality metrics (paper §8.1): data/FD precision, recall, F-scores
+// and the combined F-score.
+//
+//   * A cell modification is CORRECT if the cell was actually perturbed
+//     (differs between Ic and Id) and the repair either restores the clean
+//     value or turns the cell into a variable (the paper counts variables
+//     as correct).
+//   * An appended LHS attribute is CORRECT if it was one of the attributes
+//     removed from that FD while constructing Σd.
+//
+// Conventions for empty denominators follow Figure 8's reporting: a
+// precision with zero modifications is 1 (nothing wrong was done); a recall
+// with zero ground-truth errors/removals is 1 (nothing was missed).
+
+#ifndef RETRUST_EVAL_METRICS_H_
+#define RETRUST_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "src/relational/instance.h"
+
+namespace retrust {
+
+/// Precision/recall/F for one aspect (data or FDs).
+struct PrecisionRecall {
+  double precision = 1.0;
+  double recall = 1.0;
+  int64_t correct = 0;
+  int64_t proposed = 0;  ///< denominator of precision
+  int64_t truth = 0;     ///< denominator of recall
+
+  /// Harmonic mean of precision and recall (0 when both are 0).
+  double F() const {
+    double s = precision + recall;
+    return s > 0 ? 2.0 * precision * recall / s : 0.0;
+  }
+};
+
+/// Full quality report for one repair.
+struct RepairQuality {
+  PrecisionRecall data;
+  PrecisionRecall fd;
+
+  /// (F_data + F_fd) / 2 — the paper's combined F-score.
+  double CombinedF() const { return (data.F() + fd.F()) / 2.0; }
+};
+
+/// Scores the data side: `clean` = Ic, `dirty` = Id, `repaired` = Ir
+/// (a V-instance is fine — variables count as correct on erroneous cells).
+PrecisionRecall EvaluateDataRepair(const Instance& clean,
+                                   const Instance& dirty,
+                                   const Instance& repaired);
+
+/// Scores the FD side: per-FD appended attribute sets vs the ground-truth
+/// removed sets (both aligned with Σd's FD order).
+PrecisionRecall EvaluateFdRepair(const std::vector<AttrSet>& appended,
+                                 const std::vector<AttrSet>& removed);
+
+}  // namespace retrust
+
+#endif  // RETRUST_EVAL_METRICS_H_

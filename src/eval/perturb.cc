@@ -1,0 +1,186 @@
+#include "src/eval/perturb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/relational/dictionary.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+
+namespace retrust {
+namespace {
+
+// Partition classes (size >= 2) of the clean codes on `attrs`.
+std::vector<std::vector<TupleId>> Classes(const EncodedInstance& enc,
+                                          AttrSet attrs) {
+  std::vector<AttrId> cols = attrs.ToVector();
+  std::unordered_map<std::vector<int32_t>, std::vector<TupleId>,
+                     CodeVectorHash>
+      parts;
+  std::vector<int32_t> key(cols.size());
+  for (TupleId t = 0; t < enc.NumTuples(); ++t) {
+    for (size_t i = 0; i < cols.size(); ++i) key[i] = enc.At(t, cols[i]);
+    parts[key].push_back(t);
+  }
+  std::vector<std::vector<TupleId>> out;
+  for (auto& [k, ts] : parts) {
+    if (ts.size() >= 2) out.push_back(std::move(ts));
+  }
+  // Deterministic order.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// A fresh, per-attribute erroneous value outside the attribute's domain.
+class FreshValues {
+ public:
+  explicit FreshValues(const Instance& inst) : next_int_(inst.NumAttrs(), 0) {
+    for (TupleId t = 0; t < inst.NumTuples(); ++t) {
+      for (AttrId a = 0; a < inst.NumAttrs(); ++a) {
+        const Value& v = inst.At(t, a);
+        if (v.kind() == Value::Kind::kInt) {
+          next_int_[a] = std::max(next_int_[a], v.AsInt() + 1);
+        }
+      }
+    }
+  }
+
+  Value Next(const Instance& inst, AttrId a) {
+    switch (inst.schema().type(a)) {
+      case AttrType::kInt:
+        return Value(next_int_[a]++);
+      case AttrType::kDouble:
+        return Value(1e15 + static_cast<double>(next_int_[a]++));
+      case AttrType::kString:
+        return Value("__err_" + std::to_string(a) + "_" +
+                     std::to_string(next_int_[a]++));
+    }
+    return Value();
+  }
+
+ private:
+  std::vector<int64_t> next_int_;
+};
+
+}  // namespace
+
+PerturbedData Perturb(const Instance& clean, const FDSet& clean_fds,
+                      const PerturbOptions& opts) {
+  Rng rng(opts.seed);
+  PerturbedData out;
+  out.data = clean;
+
+  // --- FD perturbation: remove a fraction of LHS attribute slots. ---
+  out.removed_lhs.assign(clean_fds.size(), AttrSet());
+  std::vector<std::pair<int, AttrId>> slots;
+  int64_t total_lhs = 0;
+  for (int i = 0; i < clean_fds.size(); ++i) {
+    for (AttrId a : clean_fds.fd(i).lhs) {
+      slots.emplace_back(i, a);
+      ++total_lhs;
+    }
+  }
+  int64_t to_remove = static_cast<int64_t>(
+      std::llround(opts.fd_error_rate * static_cast<double>(total_lhs)));
+  rng.Shuffle(&slots);
+  std::vector<FD> reduced = clean_fds.fds();
+  int64_t removed = 0;
+  for (const auto& [i, a] : slots) {
+    if (removed >= to_remove) break;
+    if (reduced[i].lhs.Count() <= 1) continue;  // never empty an LHS
+    reduced[i].lhs.Remove(a);
+    out.removed_lhs[i].Add(a);
+    ++removed;
+  }
+  out.fds = FDSet(std::move(reduced));
+
+  // --- Data perturbation: inject violating cell errors. ---
+  EncodedInstance enc(clean);  // pair-finding uses CLEAN codes throughout
+  FreshValues fresh(clean);
+  int n = clean.NumTuples();
+  int64_t num_errors = static_cast<int64_t>(
+      std::llround(opts.data_error_rate * static_cast<double>(n)));
+
+  // Precompute candidate classes per FD.
+  struct FdClasses {
+    std::vector<std::vector<TupleId>> rhs_classes;  // partition by X
+    // Per LHS attribute B: partition by X \ {B}.
+    std::vector<std::pair<AttrId, std::vector<std::vector<TupleId>>>>
+        lhs_classes;
+  };
+  std::vector<FdClasses> cand(clean_fds.size());
+  for (int i = 0; i < clean_fds.size(); ++i) {
+    const FD& fd = clean_fds.fd(i);
+    cand[i].rhs_classes = Classes(enc, fd.lhs);
+    for (AttrId b : fd.lhs) {
+      AttrSet rest = fd.lhs;
+      rest.Remove(b);
+      cand[i].lhs_classes.emplace_back(b, Classes(enc, rest));
+    }
+  }
+
+  std::vector<char> touched(n, 0);
+
+  auto inject_rhs = [&](int fd_idx) -> bool {
+    const FD& fd = clean_fds.fd(fd_idx);
+    auto& classes = cand[fd_idx].rhs_classes;
+    if (classes.empty()) return false;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto& cls = classes[rng.PickIndex(classes)];
+      // Two untouched tuples from the class.
+      TupleId ti = cls[rng.PickIndex(cls)];
+      TupleId tj = cls[rng.PickIndex(cls)];
+      if (ti == tj || touched[ti] || touched[tj]) continue;
+      out.data.Set(ti, fd.rhs, fresh.Next(clean, fd.rhs));
+      out.perturbed_cells.push_back({ti, fd.rhs});
+      touched[ti] = 1;
+      return true;
+    }
+    return false;
+  };
+
+  auto inject_lhs = [&](int fd_idx) -> bool {
+    const FD& fd = clean_fds.fd(fd_idx);
+    auto& per_b = cand[fd_idx].lhs_classes;
+    if (per_b.empty()) return false;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      auto& [b, classes] = per_b[rng.PickIndex(per_b)];
+      if (classes.empty()) continue;
+      const auto& cls = classes[rng.PickIndex(classes)];
+      // Need a pair differing on both B and A, both untouched.
+      TupleId ti = cls[rng.PickIndex(cls)];
+      TupleId tj = cls[rng.PickIndex(cls)];
+      if (ti == tj || touched[ti] || touched[tj]) continue;
+      if (enc.At(ti, b) == enc.At(tj, b)) continue;
+      if (enc.At(ti, fd.rhs) == enc.At(tj, fd.rhs)) continue;
+      out.data.Set(ti, b, clean.At(tj, b));
+      out.perturbed_cells.push_back({ti, b});
+      touched[ti] = 1;
+      return true;
+    }
+    return false;
+  };
+
+  if (!clean_fds.empty()) {
+    for (int64_t k = 0; k < num_errors; ++k) {
+      bool want_rhs = rng.NextBool(opts.rhs_violation_share);
+      bool done = false;
+      // Try the preferred type across random FDs, then the other type.
+      for (int round = 0; round < 2 && !done; ++round) {
+        bool rhs = (round == 0) ? want_rhs : !want_rhs;
+        for (int tries = 0; tries < 8 && !done; ++tries) {
+          int fd_idx = static_cast<int>(rng.NextUint(clean_fds.size()));
+          done = rhs ? inject_rhs(fd_idx) : inject_lhs(fd_idx);
+        }
+      }
+      if (!done) break;  // data cannot absorb more injectable errors
+    }
+  }
+
+  std::sort(out.perturbed_cells.begin(), out.perturbed_cells.end());
+  return out;
+}
+
+}  // namespace retrust

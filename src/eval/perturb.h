@@ -1,0 +1,57 @@
+// Controlled perturbation of clean data and correct FDs (paper §8.1).
+//
+// Data perturbation injects cell errors such that EVERY injected change
+// creates at least one FD violation, using the paper's two procedures:
+//   * RHS violation: find t_i, t_j agreeing on X for some FD X -> A (they
+//     then agree on A too, since the FD holds on the clean data) and set
+//     t_i[A] to a fresh erroneous value.
+//   * LHS violation: find t_i, t_j with t_i[X\{B}] = t_j[X\{B}],
+//     t_i[B] != t_j[B], t_i[A] != t_j[A]; set t_i[B] = t_j[B].
+//
+// FD perturbation removes a fraction of LHS attributes (never emptying an
+// LHS), producing the inaccurate Σd the repair algorithms are given. The
+// removed attributes are the ground truth for FD precision/recall.
+
+#ifndef RETRUST_EVAL_PERTURB_H_
+#define RETRUST_EVAL_PERTURB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fd/fdset.h"
+#include "src/relational/instance.h"
+
+namespace retrust {
+
+/// Perturbation parameters. Rates follow the paper's axes: the data error
+/// rate is the fraction of TUPLES that receive one erroneous cell (see
+/// DESIGN.md on this reading of "fraction of cells"), the FD error rate is
+/// the fraction of LHS attribute slots removed across Σ.
+struct PerturbOptions {
+  double data_error_rate = 0.05;
+  double fd_error_rate = 0.5;
+  /// Probability an injected data error is a RHS violation (else LHS).
+  double rhs_violation_share = 0.5;
+  uint64_t seed = 7;
+};
+
+/// Perturbation output (the experiment's ground truth).
+struct PerturbedData {
+  Instance data;  ///< Id
+  FDSet fds;      ///< Σd (LHS-reduced)
+  /// Cells changed while perturbing the data (the erroneous cells).
+  std::vector<CellRef> perturbed_cells;
+  /// Per-FD attributes removed from the LHS (aligned with fds).
+  std::vector<AttrSet> removed_lhs;
+};
+
+/// Perturbs `clean` (which must satisfy `clean_fds`) per `opts`.
+/// Deterministic given the seed. If the data cannot absorb the requested
+/// number of injectable errors (no qualifying tuple pairs remain), fewer
+/// errors are injected; `perturbed_cells` reports the achieved set.
+PerturbedData Perturb(const Instance& clean, const FDSet& clean_fds,
+                      const PerturbOptions& opts);
+
+}  // namespace retrust
+
+#endif  // RETRUST_EVAL_PERTURB_H_

@@ -1,0 +1,59 @@
+#include "src/fd/difference_set.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace retrust {
+
+AttrSet DiffSetOfPair(const EncodedInstance& inst, TupleId t1, TupleId t2) {
+  AttrSet diff;
+  for (AttrId a = 0; a < inst.NumAttrs(); ++a) {
+    if (inst.At(t1, a) != inst.At(t2, a)) diff.Add(a);
+  }
+  return diff;
+}
+
+DifferenceSetIndex::DifferenceSetIndex(const EncodedInstance& inst,
+                                       const ConflictGraph& cg) {
+  std::unordered_map<AttrSet, int, AttrSetHash> index;
+  for (const Edge& e : cg.graph.edges()) {
+    AttrSet diff = DiffSetOfPair(inst, e.u, e.v);
+    auto [it, inserted] =
+        index.emplace(diff, static_cast<int>(groups_.size()));
+    if (inserted) groups_.push_back({diff, {}});
+    groups_[it->second].edges.push_back(e);
+  }
+  std::sort(groups_.begin(), groups_.end(),
+            [](const DiffSetGroup& a, const DiffSetGroup& b) {
+              if (a.edges.size() != b.edges.size()) {
+                return a.edges.size() > b.edges.size();
+              }
+              return a.diff < b.diff;
+            });
+}
+
+std::vector<int> DifferenceSetIndex::ViolatingGroups(const FDSet& fds) const {
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i) {
+    if (DiffSetViolates(groups_[i].diff, fds)) out.push_back(i);
+  }
+  return out;
+}
+
+std::string DifferenceSetIndex::ToString(const Schema& schema) const {
+  std::string out;
+  for (const DiffSetGroup& g : groups_) {
+    out += g.diff.ToString(schema.Names());
+    out += " x" + std::to_string(g.edges.size()) + "\n";
+  }
+  return out;
+}
+
+bool DiffSetViolates(AttrSet diff, const FDSet& fds) {
+  for (const FD& fd : fds.fds()) {
+    if (fd.ViolatedByDiffSet(diff)) return true;
+  }
+  return false;
+}
+
+}  // namespace retrust

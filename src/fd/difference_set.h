@@ -1,0 +1,61 @@
+// Difference sets (paper §5.2): for a conflict-graph edge (t_i, t_j), the
+// set of attributes on which the two tuples disagree.
+//
+// Key property (the gc heuristic's atomicity trick): whether an edge
+// violates an FD X -> A depends only on its difference set d —
+// the pair agrees on X iff X ∩ d = ∅ and disagrees on A iff A ∈ d.
+// DifferenceSetIndex therefore groups conflict edges by difference set and
+// treats each group atomically.
+
+#ifndef RETRUST_FD_DIFFERENCE_SET_H_
+#define RETRUST_FD_DIFFERENCE_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fd/conflict_graph.h"
+
+namespace retrust {
+
+/// Difference set of a tuple pair: attributes with unequal codes.
+AttrSet DiffSetOfPair(const EncodedInstance& inst, TupleId t1, TupleId t2);
+
+/// One group of conflict edges sharing a difference set.
+struct DiffSetGroup {
+  AttrSet diff;
+  std::vector<Edge> edges;
+
+  int64_t frequency() const { return static_cast<int64_t>(edges.size()); }
+};
+
+/// Conflict edges grouped by difference set, ordered by descending edge
+/// frequency (ties: smaller attribute mask first) — the order in which the
+/// heuristic prefers to pick them.
+class DifferenceSetIndex {
+ public:
+  DifferenceSetIndex() = default;
+
+  /// Builds the index from a conflict graph.
+  DifferenceSetIndex(const EncodedInstance& inst, const ConflictGraph& cg);
+
+  int size() const { return static_cast<int>(groups_.size()); }
+  bool empty() const { return groups_.empty(); }
+  const DiffSetGroup& group(int i) const { return groups_[i]; }
+  const std::vector<DiffSetGroup>& groups() const { return groups_; }
+
+  /// Indices of groups whose difference set violates at least one FD of
+  /// `fds` (i.e. groups still in conflict under a candidate Σ').
+  std::vector<int> ViolatingGroups(const FDSet& fds) const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<DiffSetGroup> groups_;
+};
+
+/// True iff difference set `diff` violates at least one FD in `fds`.
+bool DiffSetViolates(AttrSet diff, const FDSet& fds);
+
+}  // namespace retrust
+
+#endif  // RETRUST_FD_DIFFERENCE_SET_H_

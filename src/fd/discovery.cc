@@ -1,0 +1,68 @@
+#include "src/fd/discovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace retrust {
+namespace {
+
+// Enumerates all size-k subsets of `attrs` (ids ascending within a subset).
+void EnumerateSubsets(const std::vector<AttrId>& attrs, int k, size_t start,
+                      AttrSet current, std::vector<AttrSet>* out) {
+  if (k == 0) {
+    out->push_back(current);
+    return;
+  }
+  for (size_t i = start; i + k <= attrs.size(); ++i) {
+    AttrSet next = current;
+    next.Add(attrs[i]);
+    EnumerateSubsets(attrs, k - 1, i + 1, next, out);
+  }
+}
+
+}  // namespace
+
+FDSet DiscoverFDs(const EncodedInstance& inst, const DiscoveryOptions& opts) {
+  AttrSet cand = opts.candidate_attrs.Empty()
+                     ? inst.schema().Universe()
+                     : opts.candidate_attrs;
+  std::vector<AttrId> attrs = cand.ToVector();
+  int n = inst.NumTuples();
+
+  std::vector<FD> found;
+  // found_by_rhs[a] = LHS masks of minimal FDs discovered for RHS a.
+  std::unordered_map<AttrId, std::vector<AttrSet>> found_by_rhs;
+
+  auto is_minimal_candidate = [&](AttrSet x, AttrId a) {
+    auto it = found_by_rhs.find(a);
+    if (it == found_by_rhs.end()) return true;
+    for (AttrSet y : it->second) {
+      if (y.SubsetOf(x)) return false;  // a smaller LHS already works
+    }
+    return true;
+  };
+
+  for (int level = 0; level <= opts.max_lhs; ++level) {
+    std::vector<AttrSet> candidates;
+    EnumerateSubsets(attrs, level, 0, AttrSet(), &candidates);
+    for (AttrSet x : candidates) {
+      Partition px = PartitionBy(inst, x);
+      if (opts.skip_superkeys && px.num_classes == n && n > 0 &&
+          !x.Empty()) {
+        continue;  // superkey: all refinements trivial
+      }
+      for (AttrId a : cand.Minus(x)) {
+        if (!is_minimal_candidate(x, a)) continue;
+        Partition pxa = Refine(inst, px, a);
+        if (px.Error() == pxa.Error()) {
+          found.emplace_back(x, a);
+          found_by_rhs[a].push_back(x);
+        }
+      }
+    }
+  }
+  std::sort(found.begin(), found.end());
+  return FDSet(std::move(found));
+}
+
+}  // namespace retrust

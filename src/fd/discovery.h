@@ -1,0 +1,34 @@
+// Level-wise exact FD discovery (TANE-style), used to set up experiments
+// exactly as the paper does (§8.1: "use an FD discovery algorithm to find
+// all the minimal FDs with a relatively small number of attributes in the
+// LHS (less than 6)").
+
+#ifndef RETRUST_FD_DISCOVERY_H_
+#define RETRUST_FD_DISCOVERY_H_
+
+#include <vector>
+
+#include "src/fd/fdset.h"
+#include "src/fd/partition.h"
+
+namespace retrust {
+
+/// Options for FD discovery.
+struct DiscoveryOptions {
+  /// Maximum LHS size of reported FDs (paper uses < 6).
+  int max_lhs = 5;
+  /// Attributes to consider (both sides). Empty = all attributes.
+  AttrSet candidate_attrs;
+  /// When true, skip LHS candidates that are superkeys (every FD from a
+  /// superkey holds trivially and is rarely a useful data semantic).
+  bool skip_superkeys = true;
+};
+
+/// Discovers all minimal exact FDs X -> A with |X| <= max_lhs over the
+/// candidate attributes. Minimality: no Y ⊂ X with Y -> A also exact.
+/// Deterministic output order (by RHS, then LHS mask).
+FDSet DiscoverFDs(const EncodedInstance& inst, const DiscoveryOptions& opts);
+
+}  // namespace retrust
+
+#endif  // RETRUST_FD_DISCOVERY_H_

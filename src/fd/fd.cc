@@ -1,0 +1,46 @@
+#include "src/fd/fd.h"
+
+#include <stdexcept>
+
+#include "src/util/string_util.h"
+
+namespace retrust {
+
+std::string FD::ToString(const Schema& schema) const {
+  std::string out;
+  bool first = true;
+  for (AttrId a : lhs) {
+    if (!first) out += ",";
+    out += schema.name(a);
+    first = false;
+  }
+  out += "->";
+  out += rhs >= 0 ? schema.name(rhs) : "?";
+  return out;
+}
+
+std::string FD::ToString() const {
+  return lhs.ToString() + "->" + std::to_string(rhs);
+}
+
+FD FD::Parse(const std::string& text, const Schema& schema) {
+  size_t arrow = text.find("->");
+  if (arrow == std::string::npos) {
+    throw std::invalid_argument("FD must contain '->': " + text);
+  }
+  std::string lhs_text = text.substr(0, arrow);
+  std::string rhs_text(Trim(text.substr(arrow + 2)));
+  AttrId rhs = schema.Find(rhs_text);
+  if (rhs < 0) throw std::invalid_argument("unknown attribute: " + rhs_text);
+  AttrSet lhs;
+  for (const auto& part : Split(lhs_text, ',')) {
+    std::string name(Trim(part));
+    if (name.empty()) continue;
+    AttrId a = schema.Find(name);
+    if (a < 0) throw std::invalid_argument("unknown attribute: " + name);
+    lhs.Add(a);
+  }
+  return FD(lhs, rhs);
+}
+
+}  // namespace retrust

@@ -1,0 +1,50 @@
+// Functional dependencies X -> A (single RHS attribute, paper §2).
+
+#ifndef RETRUST_FD_FD_H_
+#define RETRUST_FD_FD_H_
+
+#include <string>
+
+#include "src/relational/schema.h"
+
+namespace retrust {
+
+/// A functional dependency X -> A. The paper normalizes every FD to a single
+/// right-hand-side attribute.
+struct FD {
+  AttrSet lhs;
+  AttrId rhs = -1;
+
+  FD() = default;
+  FD(AttrSet l, AttrId r) : lhs(l), rhs(r) {}
+
+  /// Trivial iff A ∈ X.
+  bool IsTrivial() const { return lhs.Contains(rhs); }
+
+  /// True iff a tuple pair whose difference set is `diff` violates this FD:
+  /// the pair agrees on X (X ∩ diff = ∅) and disagrees on A (A ∈ diff).
+  /// This is the atomicity property behind the gc heuristic (§5.2).
+  bool ViolatedByDiffSet(AttrSet diff) const {
+    return !lhs.Intersects(diff) && diff.Contains(rhs);
+  }
+
+  /// Renders as "A,B->C" using schema names.
+  std::string ToString(const Schema& schema) const;
+  /// Renders as "{0,1}->2".
+  std::string ToString() const;
+
+  /// Parses "A,B->C" against `schema`; throws std::invalid_argument on
+  /// unknown attributes or malformed syntax.
+  static FD Parse(const std::string& text, const Schema& schema);
+
+  friend bool operator==(const FD& a, const FD& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+  friend bool operator<(const FD& a, const FD& b) {
+    return a.rhs != b.rhs ? a.rhs < b.rhs : a.lhs < b.lhs;
+  }
+};
+
+}  // namespace retrust
+
+#endif  // RETRUST_FD_FD_H_

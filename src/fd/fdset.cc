@@ -1,0 +1,141 @@
+#include "src/fd/fdset.h"
+
+#include <stdexcept>
+
+namespace retrust {
+
+FDSet FDSet::Parse(const std::vector<std::string>& texts,
+                   const Schema& schema) {
+  std::vector<FD> fds;
+  fds.reserve(texts.size());
+  for (const auto& t : texts) fds.push_back(FD::Parse(t, schema));
+  return FDSet(std::move(fds));
+}
+
+AttrSet FDSet::Closure(AttrSet x) const {
+  AttrSet closure = x;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FD& fd : fds_) {
+      if (fd.lhs.SubsetOf(closure) && !closure.Contains(fd.rhs)) {
+        closure.Add(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+namespace {
+
+// Closure of x under all FDs except index `skip`.
+AttrSet ClosureExcept(const std::vector<FD>& fds, AttrSet x, int skip) {
+  AttrSet closure = x;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < static_cast<int>(fds.size()); ++i) {
+      if (i == skip) continue;
+      if (fds[i].lhs.SubsetOf(closure) && !closure.Contains(fds[i].rhs)) {
+        closure.Add(fds[i].rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+}  // namespace
+
+bool FDSet::IsMinimal() const {
+  for (int i = 0; i < size(); ++i) {
+    const FD& fd = fds_[i];
+    if (fd.IsTrivial()) return false;
+    // Extraneous LHS attribute: some B in X with (X \ B) -> A still implied.
+    for (AttrId b : fd.lhs) {
+      AttrSet reduced = fd.lhs;
+      reduced.Remove(b);
+      if (Closure(reduced).Contains(fd.rhs)) return false;
+    }
+    // Redundant FD: implied by the others.
+    if (ClosureExcept(fds_, fd.lhs, i).Contains(fd.rhs)) return false;
+  }
+  return true;
+}
+
+FDSet FDSet::Minimize() const {
+  // Step 1: remove extraneous LHS attributes (w.r.t. the full set).
+  std::vector<FD> work = fds_;
+  for (FD& fd : work) {
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      for (AttrId b : fd.lhs) {
+        AttrSet reduced = fd.lhs;
+        reduced.Remove(b);
+        FDSet tmp(work);
+        if (tmp.Closure(reduced).Contains(fd.rhs)) {
+          fd.lhs = reduced;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+  }
+  // Step 2: drop redundant FDs one at a time against the current cover.
+  std::vector<FD> kept = work;
+  for (size_t i = 0; i < kept.size();) {
+    std::vector<FD> others = kept;
+    others.erase(others.begin() + i);
+    if (FDSet(others).Implies(kept[i])) {
+      kept = std::move(others);
+    } else {
+      ++i;
+    }
+  }
+  return FDSet(kept);
+}
+
+FDSet FDSet::Extend(const std::vector<AttrSet>& extensions) const {
+  if (static_cast<int>(extensions.size()) != size()) {
+    throw std::invalid_argument("extension vector arity mismatch");
+  }
+  std::vector<FD> out;
+  out.reserve(fds_.size());
+  for (int i = 0; i < size(); ++i) {
+    const FD& fd = fds_[i];
+    if (extensions[i].Contains(fd.rhs)) {
+      throw std::invalid_argument("extension may not include the FD's RHS");
+    }
+    out.emplace_back(fd.lhs.Union(extensions[i]), fd.rhs);
+  }
+  return FDSet(std::move(out));
+}
+
+std::vector<AttrSet> FDSet::ExtensionsTo(const FDSet& relaxed) const {
+  if (relaxed.size() != size()) {
+    throw std::invalid_argument("FD set sizes differ");
+  }
+  std::vector<AttrSet> out(size());
+  for (int i = 0; i < size(); ++i) {
+    if (relaxed.fd(i).rhs != fds_[i].rhs ||
+        !fds_[i].lhs.SubsetOf(relaxed.fd(i).lhs)) {
+      throw std::invalid_argument("not a positional LHS extension");
+    }
+    out[i] = relaxed.fd(i).lhs.Minus(fds_[i].lhs);
+  }
+  return out;
+}
+
+std::string FDSet::ToString(const Schema& schema) const {
+  std::string out = "{";
+  for (int i = 0; i < size(); ++i) {
+    if (i > 0) out += "; ";
+    out += fds_[i].ToString(schema);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace retrust

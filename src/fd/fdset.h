@@ -1,0 +1,70 @@
+// Sets of FDs with closure/implication reasoning and the LHS-extension
+// relaxation the paper's repairs use.
+//
+// FD-set repairs Σ' relax Σ by appending attributes to LHSs (paper §3.1):
+// Σ' = { Y_i X_i -> A_i } for extensions Y_i ⊆ R \ X_i A_i. FDSet keeps the
+// positional mapping between Σ and Σ' (|Σ'| = |Σ| with duplicates allowed,
+// as the paper assumes).
+
+#ifndef RETRUST_FD_FDSET_H_
+#define RETRUST_FD_FDSET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fd/fd.h"
+
+namespace retrust {
+
+/// An ordered list of FDs over one schema.
+class FDSet {
+ public:
+  FDSet() = default;
+  explicit FDSet(std::vector<FD> fds) : fds_(std::move(fds)) {}
+
+  /// Parses a list like {"A,B->C", "D->E"}.
+  static FDSet Parse(const std::vector<std::string>& texts,
+                     const Schema& schema);
+
+  int size() const { return static_cast<int>(fds_.size()); }
+  bool empty() const { return fds_.empty(); }
+  const FD& fd(int i) const { return fds_[i]; }
+  const std::vector<FD>& fds() const { return fds_; }
+
+  void Add(const FD& fd) { fds_.push_back(fd); }
+
+  /// Closure of X under this FD set (Armstrong axioms fixpoint).
+  AttrSet Closure(AttrSet x) const;
+
+  /// True iff this FD set logically implies `fd`.
+  bool Implies(const FD& fd) const { return Closure(fd.lhs).Contains(fd.rhs); }
+
+  /// True iff no FD is trivial, no FD has an extraneous LHS attribute, and
+  /// no FD is implied by the others (the paper's minimality assumption §2).
+  bool IsMinimal() const;
+
+  /// Returns a logically equivalent minimal cover (single-RHS form).
+  FDSet Minimize() const;
+
+  /// Applies LHS extensions: result[i] = (lhs ∪ ext[i]) -> rhs. Extensions
+  /// must avoid the FD's own RHS. This is Δc application (paper §3.1).
+  FDSet Extend(const std::vector<AttrSet>& extensions) const;
+
+  /// The extension vector Δc(Σ, Σ') taking *this to `relaxed`
+  /// (positional). Throws std::invalid_argument if `relaxed` is not a
+  /// positional LHS-extension of *this.
+  std::vector<AttrSet> ExtensionsTo(const FDSet& relaxed) const;
+
+  std::string ToString(const Schema& schema) const;
+
+  friend bool operator==(const FDSet& a, const FDSet& b) {
+    return a.fds_ == b.fds_;
+  }
+
+ private:
+  std::vector<FD> fds_;
+};
+
+}  // namespace retrust
+
+#endif  // RETRUST_FD_FDSET_H_

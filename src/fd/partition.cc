@@ -1,0 +1,68 @@
+#include "src/fd/partition.h"
+
+#include <unordered_map>
+
+#include "src/util/hash.h"
+
+namespace retrust {
+
+std::vector<std::vector<TupleId>> Partition::StrippedClasses() const {
+  std::vector<std::vector<TupleId>> classes(num_classes);
+  for (TupleId t = 0; t < static_cast<TupleId>(labels.size()); ++t) {
+    classes[labels[t]].push_back(t);
+  }
+  std::vector<std::vector<TupleId>> stripped;
+  for (auto& c : classes) {
+    if (c.size() >= 2) stripped.push_back(std::move(c));
+  }
+  return stripped;
+}
+
+Partition PartitionBy(const EncodedInstance& inst, AttrSet attrs) {
+  Partition p;
+  int n = inst.NumTuples();
+  p.labels.resize(n);
+  std::vector<AttrId> cols = attrs.ToVector();
+  if (cols.empty()) {
+    // Single class.
+    std::fill(p.labels.begin(), p.labels.end(), 0);
+    p.num_classes = n > 0 ? 1 : 0;
+    return p;
+  }
+  std::unordered_map<std::vector<int32_t>, int32_t, CodeVectorHash> index;
+  index.reserve(static_cast<size_t>(n));
+  std::vector<int32_t> key(cols.size());
+  for (TupleId t = 0; t < n; ++t) {
+    for (size_t i = 0; i < cols.size(); ++i) key[i] = inst.At(t, cols[i]);
+    auto [it, inserted] = index.emplace(key, p.num_classes);
+    if (inserted) ++p.num_classes;
+    p.labels[t] = it->second;
+  }
+  return p;
+}
+
+Partition Refine(const EncodedInstance& inst, const Partition& base,
+                 AttrId a) {
+  Partition p;
+  int n = inst.NumTuples();
+  p.labels.resize(n);
+  // Key: (base label, code of a) -> new dense label.
+  std::unordered_map<uint64_t, int32_t> index;
+  index.reserve(static_cast<size_t>(n));
+  for (TupleId t = 0; t < n; ++t) {
+    uint64_t key = (static_cast<uint64_t>(base.labels[t]) << 32) |
+                   static_cast<uint32_t>(inst.At(t, a));
+    auto [it, inserted] = index.emplace(Mix64(key), p.num_classes);
+    if (inserted) ++p.num_classes;
+    p.labels[t] = it->second;
+  }
+  return p;
+}
+
+bool HoldsExactly(const EncodedInstance& inst, AttrSet x, AttrId a) {
+  Partition px = PartitionBy(inst, x);
+  Partition pxa = Refine(inst, px, a);
+  return px.Error() == pxa.Error();
+}
+
+}  // namespace retrust

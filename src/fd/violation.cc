@@ -1,0 +1,91 @@
+#include "src/fd/violation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/hash.h"
+
+namespace retrust {
+namespace {
+
+// Groups tuple ids by their LHS projection codes.
+std::unordered_map<std::vector<int32_t>, std::vector<TupleId>, CodeVectorHash>
+PartitionByLhs(const EncodedInstance& inst, const FD& fd) {
+  std::vector<AttrId> cols = fd.lhs.ToVector();
+  std::unordered_map<std::vector<int32_t>, std::vector<TupleId>,
+                     CodeVectorHash>
+      parts;
+  parts.reserve(static_cast<size_t>(inst.NumTuples()));
+  std::vector<int32_t> key(cols.size());
+  for (TupleId t = 0; t < inst.NumTuples(); ++t) {
+    for (size_t i = 0; i < cols.size(); ++i) key[i] = inst.At(t, cols[i]);
+    parts[key].push_back(t);
+  }
+  return parts;
+}
+
+}  // namespace
+
+bool Satisfies(const EncodedInstance& inst, const FD& fd) {
+  if (fd.IsTrivial()) return true;
+  auto parts = PartitionByLhs(inst, fd);
+  for (const auto& [key, tuples] : parts) {
+    if (tuples.size() < 2) continue;
+    int32_t rhs = inst.At(tuples[0], fd.rhs);
+    for (size_t i = 1; i < tuples.size(); ++i) {
+      if (inst.At(tuples[i], fd.rhs) != rhs) return false;
+    }
+  }
+  return true;
+}
+
+bool Satisfies(const EncodedInstance& inst, const FDSet& fds) {
+  for (const FD& fd : fds.fds()) {
+    if (!Satisfies(inst, fd)) return false;
+  }
+  return true;
+}
+
+std::vector<Edge> ViolatingPairs(const EncodedInstance& inst, const FD& fd) {
+  std::vector<Edge> out;
+  if (fd.IsTrivial()) return out;
+  auto parts = PartitionByLhs(inst, fd);
+  for (const auto& [key, tuples] : parts) {
+    if (tuples.size() < 2) continue;
+    // Sub-partition on the RHS code.
+    std::unordered_map<int32_t, std::vector<TupleId>> groups;
+    for (TupleId t : tuples) groups[inst.At(t, fd.rhs)].push_back(t);
+    if (groups.size() < 2) continue;
+    // Emit all cross-group pairs.
+    for (auto it = groups.begin(); it != groups.end(); ++it) {
+      auto jt = it;
+      for (++jt; jt != groups.end(); ++jt) {
+        for (TupleId u : it->second) {
+          for (TupleId v : jt->second) out.emplace_back(u, v);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int64_t CountViolatingTuples(const EncodedInstance& inst, const FDSet& fds) {
+  std::unordered_set<TupleId> violating;
+  for (const FD& fd : fds.fds()) {
+    if (fd.IsTrivial()) continue;
+    auto parts = PartitionByLhs(inst, fd);
+    for (const auto& [key, tuples] : parts) {
+      if (tuples.size() < 2) continue;
+      std::unordered_map<int32_t, int> groups;
+      for (TupleId t : tuples) ++groups[inst.At(t, fd.rhs)];
+      if (groups.size() >= 2) {
+        for (TupleId t : tuples) violating.insert(t);
+      }
+    }
+  }
+  return static_cast<int64_t>(violating.size());
+}
+
+}  // namespace retrust

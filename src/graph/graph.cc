@@ -1,0 +1,35 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace retrust {
+
+void Graph::AddEdge(int32_t u, int32_t v) {
+  if (u == v) throw std::invalid_argument("self-loop");
+  if (u < 0 || v < 0 || u >= num_vertices_ || v >= num_vertices_) {
+    throw std::out_of_range("edge endpoint out of range");
+  }
+  edges_.emplace_back(u, v);
+}
+
+std::vector<std::vector<int32_t>> Graph::BuildAdjacency() const {
+  std::vector<std::vector<int32_t>> adj(num_vertices_);
+  for (const Edge& e : edges_) {
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  for (auto& nbrs : adj) std::sort(nbrs.begin(), nbrs.end());
+  return adj;
+}
+
+std::vector<int32_t> Graph::Degrees() const {
+  std::vector<int32_t> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  return deg;
+}
+
+}  // namespace retrust

@@ -1,0 +1,57 @@
+// Minimal undirected-graph substrate for conflict graphs and vertex covers.
+
+#ifndef RETRUST_GRAPH_GRAPH_H_
+#define RETRUST_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace retrust {
+
+/// An undirected edge (u, v), stored with u <= v.
+struct Edge {
+  int32_t u = 0;
+  int32_t v = 0;
+
+  Edge() = default;
+  Edge(int32_t a, int32_t b) : u(a < b ? a : b), v(a < b ? b : a) {}
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  }
+};
+
+/// An undirected graph over vertices [0, num_vertices): edge list plus
+/// lazily-built adjacency.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int32_t num_vertices) : num_vertices_(num_vertices) {}
+
+  int32_t num_vertices() const { return num_vertices_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Adds an undirected edge; self-loops are rejected, duplicates allowed
+  /// (the cover algorithms are insensitive to them).
+  void AddEdge(int32_t u, int32_t v);
+
+  /// Builds and returns adjacency lists (vertex -> sorted neighbor list).
+  std::vector<std::vector<int32_t>> BuildAdjacency() const;
+
+  /// Degree of every vertex.
+  std::vector<int32_t> Degrees() const;
+
+ private:
+  int32_t num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace retrust
+
+#endif  // RETRUST_GRAPH_GRAPH_H_

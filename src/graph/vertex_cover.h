@@ -1,0 +1,58 @@
+// Vertex covers of conflict graphs.
+//
+// The repair pipeline needs a 2-approximate minimum vertex cover C2opt
+// (paper §5, §6): we use the classic maximal-matching algorithm
+// (Garey & Johnson, as cited by the paper) — deterministic given the edge
+// order, which the conflict-graph builder fixes. An exact branch-and-bound
+// solver is provided as a test oracle for the 2-approximation property.
+
+#ifndef RETRUST_GRAPH_VERTEX_COVER_H_
+#define RETRUST_GRAPH_VERTEX_COVER_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace retrust {
+
+/// 2-approximate minimum vertex cover via maximal matching: scan edges in
+/// order; when both endpoints are uncovered take both. Returns covered
+/// vertex ids in increasing order.
+std::vector<int32_t> GreedyVertexCover(const Graph& g);
+
+/// Same, but over a raw edge list (the heuristic unions edge groups without
+/// materializing a Graph). `scratch` marks covered vertices; it must be
+/// sized >= max vertex id + 1 and is reset before use via the epoch trick.
+class MatchingCoverScratch {
+ public:
+  explicit MatchingCoverScratch(int32_t num_vertices)
+      : mark_(num_vertices, 0) {}
+
+  /// Size of a maximal-matching cover of `edges` (2-approx of minimum).
+  int32_t CoverSize(const std::vector<Edge>& edges);
+
+  /// Same over a pair of edge lists (avoids concatenation).
+  int32_t CoverSize(const std::vector<Edge>& a, const std::vector<Edge>& b);
+
+ private:
+  std::vector<uint32_t> mark_;
+  uint32_t epoch_ = 0;
+};
+
+/// Max-degree greedy vertex cover: repeatedly take the highest-degree
+/// vertex. This is the classic ln(n)-approximation heuristic; the paper's
+/// Figure 3 worked example shows covers consistent with this variant
+/// ({t2}, {t2,t3}), so it is provided for fidelity and as an ablation —
+/// the repair guarantees, however, are stated for the matching cover.
+std::vector<int32_t> MaxDegreeVertexCover(const Graph& g);
+
+/// Exact minimum vertex cover via branch-and-bound; exponential, use only on
+/// small graphs (test oracle). Returns the cover size.
+int32_t ExactMinVertexCoverSize(const Graph& g, int32_t max_vertices = 64);
+
+/// True if `cover` covers every edge of `g`.
+bool IsVertexCover(const Graph& g, const std::vector<int32_t>& cover);
+
+}  // namespace retrust
+
+#endif  // RETRUST_GRAPH_VERTEX_COVER_H_

@@ -1,0 +1,40 @@
+#include "src/relational/attrset.h"
+
+namespace retrust {
+
+std::vector<AttrId> AttrSet::ToVector() const {
+  std::vector<AttrId> out;
+  out.reserve(Count());
+  for (AttrId a : *this) out.push_back(a);
+  return out;
+}
+
+std::string AttrSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (AttrId a : *this) {
+    if (!first) out += ",";
+    out += std::to_string(a);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+std::string AttrSet::ToString(const std::vector<std::string>& names) const {
+  std::string out = "{";
+  bool first = true;
+  for (AttrId a : *this) {
+    if (!first) out += ",";
+    if (a < static_cast<int>(names.size())) {
+      out += names[a];
+    } else {
+      out += std::to_string(a);
+    }
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace retrust

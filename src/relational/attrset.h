@@ -1,0 +1,124 @@
+// AttrSet: a set of attribute ids represented as a 64-bit mask.
+//
+// The paper's search states, difference sets, and FD left-hand-sides are all
+// attribute sets; the whole search layer manipulates them heavily, so the
+// representation is a single uint64_t (schemas are capped at 64 attributes;
+// the paper's largest relation has 40).
+
+#ifndef RETRUST_RELATIONAL_ATTRSET_H_
+#define RETRUST_RELATIONAL_ATTRSET_H_
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace retrust {
+
+/// Attribute index within a schema (position, 0-based).
+using AttrId = int;
+
+/// Maximum number of attributes supported by AttrSet.
+inline constexpr int kMaxAttrs = 64;
+
+/// An immutable-value set of attribute ids with subset algebra and
+/// iteration in increasing id order.
+class AttrSet {
+ public:
+  constexpr AttrSet() : bits_(0) {}
+  constexpr explicit AttrSet(uint64_t bits) : bits_(bits) {}
+  AttrSet(std::initializer_list<AttrId> ids) : bits_(0) {
+    for (AttrId a : ids) Add(a);
+  }
+
+  /// The set {a}.
+  static constexpr AttrSet Single(AttrId a) { return AttrSet(Bit(a)); }
+
+  /// The set {0, 1, ..., m-1}.
+  static constexpr AttrSet Universe(int m) {
+    return AttrSet(m >= 64 ? ~uint64_t{0} : ((uint64_t{1} << m) - 1));
+  }
+
+  bool Contains(AttrId a) const { return (bits_ & Bit(a)) != 0; }
+  bool Empty() const { return bits_ == 0; }
+  int Count() const { return std::popcount(bits_); }
+  uint64_t bits() const { return bits_; }
+
+  void Add(AttrId a) { bits_ |= Bit(a); }
+  void Remove(AttrId a) { bits_ &= ~Bit(a); }
+
+  AttrSet Union(AttrSet o) const { return AttrSet(bits_ | o.bits_); }
+  AttrSet Intersect(AttrSet o) const { return AttrSet(bits_ & o.bits_); }
+  AttrSet Minus(AttrSet o) const { return AttrSet(bits_ & ~o.bits_); }
+
+  bool SubsetOf(AttrSet o) const { return (bits_ & ~o.bits_) == 0; }
+  bool ProperSubsetOf(AttrSet o) const {
+    return SubsetOf(o) && bits_ != o.bits_;
+  }
+  bool Intersects(AttrSet o) const { return (bits_ & o.bits_) != 0; }
+
+  /// Smallest attribute id in the set; -1 when empty.
+  AttrId Min() const {
+    return bits_ == 0 ? -1 : static_cast<AttrId>(std::countr_zero(bits_));
+  }
+
+  /// Largest attribute id in the set; -1 when empty. This is the "greatest
+  /// attribute" used by the unique-parent rule of the search tree (Fig. 4b).
+  AttrId Max() const {
+    return bits_ == 0 ? -1 : 63 - static_cast<AttrId>(std::countl_zero(bits_));
+  }
+
+  /// Materializes the ids in increasing order.
+  std::vector<AttrId> ToVector() const;
+
+  /// Renders as e.g. "{A,C}" given attribute names, or "{0,2}" without.
+  std::string ToString() const;
+  std::string ToString(const std::vector<std::string>& names) const;
+
+  friend bool operator==(AttrSet a, AttrSet b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(AttrSet a, AttrSet b) { return a.bits_ != b.bits_; }
+  /// Arbitrary total order (by mask) so AttrSet can key ordered containers.
+  friend bool operator<(AttrSet a, AttrSet b) { return a.bits_ < b.bits_; }
+
+  /// Iterates set bits in increasing order.
+  class Iterator {
+   public:
+    explicit Iterator(uint64_t bits) : bits_(bits) {}
+    AttrId operator*() const {
+      return static_cast<AttrId>(std::countr_zero(bits_));
+    }
+    Iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return bits_ != o.bits_; }
+
+   private:
+    uint64_t bits_;
+  };
+  Iterator begin() const { return Iterator(bits_); }
+  Iterator end() const { return Iterator(0); }
+
+ private:
+  static constexpr uint64_t Bit(AttrId a) {
+    assert(a >= 0 && a < kMaxAttrs);
+    return uint64_t{1} << a;
+  }
+  uint64_t bits_;
+};
+
+/// Hasher so AttrSet can key unordered containers.
+struct AttrSetHash {
+  size_t operator()(AttrSet s) const {
+    uint64_t x = s.bits();
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace retrust
+
+#endif  // RETRUST_RELATIONAL_ATTRSET_H_

@@ -1,0 +1,158 @@
+#include "src/relational/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/string_util.h"
+
+namespace retrust {
+namespace {
+
+// Parses one CSV record (handles quoted fields, embedded separators and
+// doubled quotes). Returns false on EOF with no data.
+bool ReadRecord(std::istream& in, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  bool any = false;
+  int c;
+  while ((c = in.get()) != EOF) {
+    any = true;
+    char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in.peek() == '"') {
+          field += '"';
+          in.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == ',') {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      break;
+    } else if (ch == '\r') {
+      // swallow; \r\n handled by the \n branch next iteration
+    } else {
+      field += ch;
+    }
+  }
+  if (!any) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+std::string EscapeField(const std::string& s) {
+  bool needs_quote = s.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Instance ReadCsv(std::istream& in) {
+  std::vector<std::string> header;
+  if (!ReadRecord(in, &header) || header.empty()) {
+    throw std::runtime_error("csv: missing header row");
+  }
+  std::vector<std::vector<std::string>> raw_rows;
+  std::vector<std::string> fields;
+  while (ReadRecord(in, &fields)) {
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != header.size()) {
+      throw std::runtime_error("csv: row arity mismatch");
+    }
+    raw_rows.push_back(fields);
+  }
+  // Type inference per column: int64 if every non-empty field parses as
+  // int64; else double; else string. Empty fields become NULL.
+  int m = static_cast<int>(header.size());
+  std::vector<AttrType> types(m, AttrType::kInt);
+  for (int a = 0; a < m; ++a) {
+    bool all_int = true, all_double = true, any_value = false;
+    for (const auto& row : raw_rows) {
+      if (row[a].empty()) continue;
+      any_value = true;
+      int64_t i;
+      double d;
+      if (!ParseInt64(row[a], &i)) all_int = false;
+      if (!ParseDouble(row[a], &d)) all_double = false;
+    }
+    if (!any_value) {
+      types[a] = AttrType::kString;
+    } else if (all_int) {
+      types[a] = AttrType::kInt;
+    } else if (all_double) {
+      types[a] = AttrType::kDouble;
+    } else {
+      types[a] = AttrType::kString;
+    }
+  }
+  std::vector<Attribute> attrs(m);
+  for (int a = 0; a < m; ++a) attrs[a] = {header[a], types[a]};
+  Instance inst{Schema(std::move(attrs))};
+  for (const auto& row : raw_rows) {
+    Tuple t(m);
+    for (int a = 0; a < m; ++a) {
+      if (row[a].empty()) {
+        t[a] = Value::Null();
+      } else if (types[a] == AttrType::kInt) {
+        int64_t v = 0;
+        ParseInt64(row[a], &v);
+        t[a] = Value(v);
+      } else if (types[a] == AttrType::kDouble) {
+        double v = 0;
+        ParseDouble(row[a], &v);
+        t[a] = Value(v);
+      } else {
+        t[a] = Value(row[a]);
+      }
+    }
+    inst.AddTuple(std::move(t));
+  }
+  return inst;
+}
+
+Instance ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("csv: cannot open " + path);
+  return ReadCsv(in);
+}
+
+void WriteCsv(const Instance& inst, std::ostream& out) {
+  const Schema& schema = inst.schema();
+  for (AttrId a = 0; a < schema.NumAttrs(); ++a) {
+    if (a > 0) out << ',';
+    out << EscapeField(schema.name(a));
+  }
+  out << '\n';
+  for (TupleId t = 0; t < inst.NumTuples(); ++t) {
+    for (AttrId a = 0; a < schema.NumAttrs(); ++a) {
+      if (a > 0) out << ',';
+      const Value& v = inst.At(t, a);
+      if (!v.is_null()) out << EscapeField(v.ToString(schema.name(a)));
+    }
+    out << '\n';
+  }
+}
+
+void WriteCsvFile(const Instance& inst, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("csv: cannot open " + path);
+  WriteCsv(inst, out);
+}
+
+}  // namespace retrust

@@ -1,0 +1,29 @@
+// CSV reader/writer for instances. The reader infers attribute types from
+// the data (int64 -> double -> string fallback); the first row is a header.
+
+#ifndef RETRUST_RELATIONAL_CSV_H_
+#define RETRUST_RELATIONAL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/relational/instance.h"
+
+namespace retrust {
+
+/// Parses CSV text (header + rows, RFC-4180 quoting) into an Instance.
+/// Throws std::runtime_error on malformed input.
+Instance ReadCsv(std::istream& in);
+
+/// Reads a CSV file. Throws std::runtime_error if the file cannot be opened.
+Instance ReadCsvFile(const std::string& path);
+
+/// Writes `inst` (header + rows) as CSV. Variables render as "?Attr<i>".
+void WriteCsv(const Instance& inst, std::ostream& out);
+
+/// Writes a CSV file.
+void WriteCsvFile(const Instance& inst, const std::string& path);
+
+}  // namespace retrust
+
+#endif  // RETRUST_RELATIONAL_CSV_H_

@@ -1,0 +1,95 @@
+#include "src/relational/dictionary.h"
+
+#include <stdexcept>
+
+#include "src/util/hash.h"
+
+namespace retrust {
+
+int32_t Dictionary::Intern(const Value& v) {
+  auto it = index_.find(v);
+  if (it != index_.end()) return it->second;
+  int32_t code = static_cast<int32_t>(values_.size());
+  values_.push_back(v);
+  index_.emplace(v, code);
+  return code;
+}
+
+int32_t Dictionary::Lookup(const Value& v) const {
+  auto it = index_.find(v);
+  return it == index_.end() ? -1 : it->second;
+}
+
+EncodedInstance::EncodedInstance(const Instance& inst)
+    : schema_(inst.schema()), n_(inst.NumTuples()), m_(inst.NumAttrs()) {
+  codes_.resize(static_cast<size_t>(n_) * m_);
+  dicts_.resize(m_);
+  next_var_.assign(m_, 0);
+  for (TupleId t = 0; t < n_; ++t) {
+    for (AttrId a = 0; a < m_; ++a) {
+      const Value& v = inst.At(t, a);
+      int32_t code;
+      if (v.is_variable()) {
+        int32_t idx = v.AsVariable().index;
+        code = VariableCode(idx);
+        if (idx + 1 > next_var_[a]) next_var_[a] = idx + 1;
+      } else {
+        code = dicts_[a].Intern(v);
+      }
+      codes_[Flat(t, a)] = code;
+    }
+  }
+}
+
+int32_t EncodedInstance::SetFreshVariable(TupleId t, AttrId a) {
+  int32_t code = NewVariableCode(a);
+  SetCode(t, a, code);
+  return code;
+}
+
+Value EncodedInstance::DecodeCell(TupleId t, AttrId a) const {
+  int32_t code = At(t, a);
+  if (IsVariableCode(code)) {
+    return Value::Variable(a, VariableIndexOfCode(code));
+  }
+  return dicts_[a].value(code);
+}
+
+Instance EncodedInstance::Decode() const {
+  Instance out(schema_);
+  for (TupleId t = 0; t < n_; ++t) {
+    Tuple row(m_);
+    for (AttrId a = 0; a < m_; ++a) row[a] = DecodeCell(t, a);
+    out.AddTuple(std::move(row));
+  }
+  return out;
+}
+
+int64_t EncodedInstance::CountDistinctProjection(AttrSet attrs) const {
+  std::vector<AttrId> cols = attrs.ToVector();
+  if (cols.empty()) return n_ > 0 ? 1 : 0;
+  std::unordered_set<std::vector<int32_t>, CodeVectorHash> seen;
+  seen.reserve(static_cast<size_t>(n_));
+  std::vector<int32_t> key(cols.size());
+  for (TupleId t = 0; t < n_; ++t) {
+    for (size_t i = 0; i < cols.size(); ++i) key[i] = At(t, cols[i]);
+    seen.insert(key);
+  }
+  return static_cast<int64_t>(seen.size());
+}
+
+std::vector<CellRef> EncodedInstance::DiffCells(
+    const EncodedInstance& other) const {
+  if (n_ != other.n_ || m_ != other.m_) {
+    throw std::invalid_argument("DiffCells requires same shape");
+  }
+  std::vector<CellRef> out;
+  for (TupleId t = 0; t < n_; ++t) {
+    for (AttrId a = 0; a < m_; ++a) {
+      if (At(t, a) != other.At(t, a)) out.push_back({t, a});
+    }
+  }
+  return out;
+}
+
+}  // namespace retrust

@@ -1,0 +1,110 @@
+// Dictionary-encoded instances: the representation all algorithm kernels
+// run on.
+//
+// Each attribute gets a Dictionary mapping constants to dense non-negative
+// codes; variables are encoded as negative codes (variable index i maps to
+// code -(i+1)). Under this encoding, V-instance cell equality is exactly
+// int32 equality:
+//   * equal constants share a code;
+//   * a variable equals only itself (same negative code);
+//   * variables never collide with constants (sign differs).
+
+#ifndef RETRUST_RELATIONAL_DICTIONARY_H_
+#define RETRUST_RELATIONAL_DICTIONARY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/relational/instance.h"
+
+namespace retrust {
+
+/// Per-attribute constant dictionary (code <-> Value).
+class Dictionary {
+ public:
+  /// Returns the code for `v`, interning it if new. `v` must be a constant.
+  int32_t Intern(const Value& v);
+
+  /// Returns the code for `v` or -1 if absent (for lookups; note -1 is never
+  /// a constant code).
+  int32_t Lookup(const Value& v) const;
+
+  const Value& value(int32_t code) const { return values_[code]; }
+  int32_t size() const { return static_cast<int32_t>(values_.size()); }
+
+ private:
+  std::vector<Value> values_;
+  std::unordered_map<Value, int32_t, ValueHash> index_;
+};
+
+/// Encodes a variable index as a cell code and back.
+inline int32_t VariableCode(int32_t var_index) { return -(var_index + 1); }
+inline int32_t VariableIndexOfCode(int32_t code) { return -code - 1; }
+inline bool IsVariableCode(int32_t code) { return code < 0; }
+
+/// A dictionary-encoded (V-)instance. Mutable: the repair algorithms edit
+/// cells in place (constants from the dictionary, or fresh variables).
+class EncodedInstance {
+ public:
+  EncodedInstance() = default;
+
+  /// Encodes `inst`. Variables keep their indices (as negative codes).
+  explicit EncodedInstance(const Instance& inst);
+
+  const Schema& schema() const { return schema_; }
+  int NumTuples() const { return n_; }
+  int NumAttrs() const { return m_; }
+
+  int32_t At(TupleId t, AttrId a) const { return codes_[Flat(t, a)]; }
+  void SetCode(TupleId t, AttrId a, int32_t code) {
+    codes_[Flat(t, a)] = code;
+  }
+
+  /// Sets t[a] to a fresh variable and returns its code.
+  int32_t SetFreshVariable(TupleId t, AttrId a);
+
+  /// Returns a fresh variable code for attribute `a` without assigning it.
+  int32_t NewVariableCode(AttrId a) { return VariableCode(next_var_[a]++); }
+
+  /// Decodes one cell back to a Value.
+  Value DecodeCell(TupleId t, AttrId a) const;
+
+  /// Decodes the whole instance.
+  Instance Decode() const;
+
+  /// Number of constants interned for attribute `a` (from the encoded
+  /// snapshot; used by distinct-count weighting).
+  int32_t DictionarySize(AttrId a) const { return dicts_[a].size(); }
+
+  const Dictionary& dictionary(AttrId a) const { return dicts_[a]; }
+
+  /// Number of distinct rows of the projection onto `attrs`, scanning the
+  /// current cell codes (the paper's F_count(Y) = |π_Y(I)|).
+  int64_t CountDistinctProjection(AttrSet attrs) const;
+
+  /// Cells whose codes differ from `other` (same shape required).
+  std::vector<CellRef> DiffCells(const EncodedInstance& other) const;
+
+  /// |Δd| against `other`.
+  int DistdTo(const EncodedInstance& other) const {
+    return static_cast<int>(DiffCells(other).size());
+  }
+
+ private:
+  size_t Flat(TupleId t, AttrId a) const {
+    return static_cast<size_t>(t) * m_ + a;
+  }
+
+  Schema schema_;
+  int n_ = 0;
+  int m_ = 0;
+  std::vector<int32_t> codes_;
+  std::vector<Dictionary> dicts_;
+  std::vector<int32_t> next_var_;
+};
+
+}  // namespace retrust
+
+#endif  // RETRUST_RELATIONAL_DICTIONARY_H_

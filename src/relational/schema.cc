@@ -1,0 +1,61 @@
+#include "src/relational/schema.h"
+
+#include <stdexcept>
+
+namespace retrust {
+
+Schema::Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {
+  if (attrs_.size() > static_cast<size_t>(kMaxAttrs)) {
+    throw std::invalid_argument("schema exceeds kMaxAttrs attributes");
+  }
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    auto [it, inserted] =
+        by_name_.emplace(attrs_[i].name, static_cast<AttrId>(i));
+    if (!inserted) {
+      throw std::invalid_argument("duplicate attribute name: " +
+                                  attrs_[i].name);
+    }
+  }
+}
+
+Schema Schema::FromNames(const std::vector<std::string>& names) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(names.size());
+  for (const auto& n : names) attrs.push_back({n, AttrType::kString});
+  return Schema(std::move(attrs));
+}
+
+std::vector<std::string> Schema::Names() const {
+  std::vector<std::string> out;
+  out.reserve(attrs_.size());
+  for (const auto& a : attrs_) out.push_back(a.name);
+  return out;
+}
+
+AttrId Schema::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+AttrSet Schema::Resolve(const std::vector<std::string>& names) const {
+  AttrSet out;
+  for (const auto& n : names) {
+    AttrId a = Find(n);
+    if (a < 0) throw std::invalid_argument("unknown attribute: " + n);
+    out.Add(a);
+  }
+  return out;
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.attrs_.size() != b.attrs_.size()) return false;
+  for (size_t i = 0; i < a.attrs_.size(); ++i) {
+    if (a.attrs_[i].name != b.attrs_[i].name ||
+        a.attrs_[i].type != b.attrs_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace retrust

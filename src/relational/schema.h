@@ -1,0 +1,61 @@
+// Relation schema: ordered attribute names with declared types.
+
+#ifndef RETRUST_RELATIONAL_SCHEMA_H_
+#define RETRUST_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/relational/attrset.h"
+
+namespace retrust {
+
+/// Declared attribute type (cells may additionally be null or variables).
+enum class AttrType { kInt, kDouble, kString };
+
+/// One attribute of a schema.
+struct Attribute {
+  std::string name;
+  AttrType type = AttrType::kString;
+};
+
+/// An ordered list of attributes; attribute ids are positions. The attribute
+/// order doubles as the total order required by the search tree's
+/// unique-parent rule (paper §5.1).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs);
+
+  /// Convenience: all-string schema from names.
+  static Schema FromNames(const std::vector<std::string>& names);
+
+  int NumAttrs() const { return static_cast<int>(attrs_.size()); }
+  const Attribute& attr(AttrId a) const { return attrs_[a]; }
+  const std::string& name(AttrId a) const { return attrs_[a].name; }
+  AttrType type(AttrId a) const { return attrs_[a].type; }
+
+  /// All attribute names in order.
+  std::vector<std::string> Names() const;
+
+  /// Id of the attribute named `name`, or -1.
+  AttrId Find(const std::string& name) const;
+
+  /// Resolves a comma-free list of names to an AttrSet; throws
+  /// std::invalid_argument on unknown names.
+  AttrSet Resolve(const std::vector<std::string>& names) const;
+
+  /// The set of all attributes.
+  AttrSet Universe() const { return AttrSet::Universe(NumAttrs()); }
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<Attribute> attrs_;
+  std::unordered_map<std::string, AttrId> by_name_;
+};
+
+}  // namespace retrust
+
+#endif  // RETRUST_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,65 @@
+#include "src/repair/cell_sampler.h"
+
+#include <stdexcept>
+
+#include "src/fd/violation.h"
+
+namespace retrust {
+
+DataRepairResult CellSamplerRepair(const EncodedInstance& inst,
+                                   const FDSet& sigma_prime, Rng* rng,
+                                   const CellSamplerOptions& opts) {
+  DataRepairResult result;
+  EncodedInstance repaired = inst;
+  int64_t max_fixes = opts.max_fixes > 0
+                          ? opts.max_fixes
+                          : 50LL * inst.NumTuples() *
+                                (sigma_prime.size() + 1);
+
+  int64_t fixes = 0;
+  while (fixes < max_fixes) {
+    // Collect current violations (pair, FD index). Rebuilding per round is
+    // O(|Σ|·(n + E)); rounds are few relative to violations because each
+    // round applies one fix per violating pair family.
+    std::vector<std::pair<Edge, int>> violations;
+    for (int i = 0; i < sigma_prime.size(); ++i) {
+      for (const Edge& e : ViolatingPairs(repaired, sigma_prime.fd(i))) {
+        violations.emplace_back(e, i);
+      }
+    }
+    if (violations.empty()) break;
+
+    auto [edge, fd_idx] = violations[rng->PickIndex(violations)];
+    const FD& fd = sigma_prime.fd(fd_idx);
+    // RHS equalization can cascade/oscillate across FDs; variable fixes are
+    // monotone progress (a constant cell becomes a variable forever). Past
+    // half the budget, force the monotone fix to guarantee termination.
+    bool rhs_fix = rng->NextBool(opts.rhs_fix_share);
+    if (fixes > max_fixes / 2) rhs_fix = false;
+    if (fd.lhs.Empty()) rhs_fix = true;  // no LHS cell to break
+    TupleId target = rng->NextBool() ? edge.u : edge.v;
+    TupleId other = (target == edge.u) ? edge.v : edge.u;
+    if (rhs_fix) {
+      // Equalize the RHS: target's A takes the other tuple's value.
+      repaired.SetCode(target, fd.rhs, repaired.At(other, fd.rhs));
+    } else {
+      // Break the LHS agreement with a fresh variable on a random X-attr.
+      std::vector<AttrId> lhs = fd.lhs.ToVector();
+      AttrId b = lhs[rng->PickIndex(lhs)];
+      repaired.SetFreshVariable(target, b);
+    }
+    ++fixes;
+  }
+
+  if (fixes >= max_fixes && !Satisfies(repaired, sigma_prime)) {
+    throw std::runtime_error("cell sampler exceeded its fix budget");
+  }
+
+  result.changed_cells = inst.DiffCells(repaired);
+  result.cover_size = 0;  // not cover-based
+  result.change_bound = static_cast<int64_t>(result.changed_cells.size());
+  result.repaired = std::move(repaired);
+  return result;
+}
+
+}  // namespace retrust

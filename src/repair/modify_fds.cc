@@ -1,0 +1,165 @@
+#include "src/repair/modify_fds.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/fd/conflict_graph.h"
+#include "src/util/timer.h"
+
+namespace retrust {
+
+FdSearchContext::FdSearchContext(const FDSet& sigma,
+                                 const EncodedInstance& inst,
+                                 const WeightFunction& weights,
+                                 const HeuristicOptions& hopts)
+    : sigma_(sigma),
+      num_tuples_(inst.NumTuples()),
+      space_(sigma, inst.schema()),
+      index_(inst, BuildConflictGraph(inst, sigma)),
+      weights_(weights),
+      heuristic_(sigma_, space_, weights_, index_, inst.NumTuples(), hopts),
+      scratch_(inst.NumTuples()) {}
+
+int64_t FdSearchContext::CoverSize(const SearchState& s,
+                                   SearchStats* stats) const {
+  if (stats != nullptr) ++stats->vc_computations;
+  // Gather edges of groups still violated under s. A difference set d
+  // violates FD i of the relaxation iff A_i ∈ d and (X_i ∪ Y_i) ∩ d = ∅ —
+  // no FDSet materialization needed. Group order is the index's canonical
+  // (frequency-sorted) order, used consistently by all cover computations.
+  static thread_local std::vector<Edge> edges;
+  edges.clear();
+  for (const DiffSetGroup& g : index_.groups()) {
+    bool violated = false;
+    for (int i = 0; i < sigma_.size() && !violated; ++i) {
+      const FD& fd = sigma_.fd(i);
+      violated = g.diff.Contains(fd.rhs) &&
+                 !fd.lhs.Union(s.ext[i]).Intersects(g.diff);
+    }
+    if (violated) edges.insert(edges.end(), g.edges.begin(), g.edges.end());
+  }
+  return scratch_.CoverSize(edges);
+}
+
+int64_t FdSearchContext::DeltaP(const SearchState& s,
+                                SearchStats* stats) const {
+  return alpha() * CoverSize(s, stats);
+}
+
+int64_t FdSearchContext::RootDeltaP() const {
+  return DeltaP(SearchState::Root(sigma_.size()), nullptr);
+}
+
+namespace {
+
+// Open-list entry. gc evaluation is LAZY: children are pushed with their
+// parent's priority as a lower bound (gc is monotone along tree edges —
+// a child's descendants are a subset of its parent's) and get their own
+// gc computed only when they reach the top of the heap. This cuts gc
+// evaluations from O(states generated) to O(states visited).
+struct OpenEntry {
+  double priority;   // a lower bound on gc(S); exact once `evaluated`
+  double cost;       // cost(S), for tie-breaking
+  int64_t seq;       // FIFO tie-break for determinism
+  bool evaluated;    // true once priority == gc(S) (A*) / cost(S) (BF)
+  SearchState state;
+
+  bool operator<(const OpenEntry& o) const {
+    // std::priority_queue is a max-heap; invert.
+    if (priority != o.priority) return priority > o.priority;
+    if (cost != o.cost) return cost > o.cost;
+    return seq > o.seq;
+  }
+};
+
+}  // namespace
+
+ModifyFdsResult ModifyFds(const FdSearchContext& ctx, int64_t tau,
+                          const ModifyFdsOptions& opts) {
+  Timer timer;
+  ModifyFdsResult result;
+  SearchStats& stats = result.stats;
+  const GcHeuristic& h = ctx.heuristic();
+  const bool astar = opts.mode == SearchMode::kAStar;
+
+  std::priority_queue<OpenEntry> pq;
+  int64_t seq = 0;
+  SearchState root = SearchState::Root(ctx.sigma().size());
+  pq.push({root.Cost(ctx.weights()), root.Cost(ctx.weights()), seq++,
+           !astar, root});
+  ++stats.states_generated;
+
+  std::optional<FdRepair> best;
+  while (!pq.empty()) {
+    OpenEntry top = pq.top();
+    pq.pop();
+
+    if (!top.evaluated) {
+      // Deferred gc evaluation (A* only).
+      double gc = h.Compute(top.state, tau, &stats);
+      if (gc == GcHeuristic::kInfinity) continue;  // no goal below here
+      top.priority = std::max(gc, top.cost);
+      top.evaluated = true;
+      if (!pq.empty() && pq.top().priority < top.priority) {
+        pq.push(std::move(top));  // someone else is cheaper now
+        continue;
+      }
+    }
+
+    ++stats.states_visited;
+    if (opts.max_visited > 0 && stats.states_visited > opts.max_visited) {
+      break;
+    }
+
+    // Once a goal is known, states that cannot beat (or tie) it are done.
+    if (best.has_value()) {
+      bool can_tie = opts.tie_break_delta &&
+                     top.cost <= best->distc + opts.cost_epsilon;
+      if (top.priority > best->distc + opts.cost_epsilon) break;
+      if (!can_tie && top.cost > best->distc + opts.cost_epsilon) continue;
+    }
+
+    int64_t cover = ctx.CoverSize(top.state, &stats);
+    int64_t delta_p = ctx.alpha() * cover;
+    if (delta_p <= tau) {
+      // Goal state.
+      double cost = top.state.Cost(ctx.weights());
+      if (!best.has_value()) {
+        best = FdRepair{top.state, top.state.Apply(ctx.sigma()), cost, cover,
+                        delta_p};
+        if (!opts.tie_break_delta) break;
+        continue;  // keep scanning for equal-cost goals with smaller δP
+      }
+      if (cost <= best->distc + opts.cost_epsilon &&
+          delta_p < best->delta_p) {
+        best = FdRepair{top.state, top.state.Apply(ctx.sigma()), cost, cover,
+                        delta_p};
+      }
+      continue;  // children of a goal state only cost more
+    }
+
+    // Expand: children inherit the parent's priority as a lower bound.
+    for (SearchState& child : ctx.space().Children(top.state)) {
+      double child_cost = child.Cost(ctx.weights());
+      double lower = std::max(top.priority, child_cost);
+      if (best.has_value() && lower > best->distc + opts.cost_epsilon) {
+        continue;
+      }
+      pq.push({lower, child_cost, seq++, !astar, std::move(child)});
+      ++stats.states_generated;
+    }
+  }
+
+  result.repair = std::move(best);
+  stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+ModifyFdsResult ModifyFds(const FDSet& sigma, const EncodedInstance& inst,
+                          int64_t tau, const WeightFunction& weights,
+                          const ModifyFdsOptions& opts) {
+  FdSearchContext ctx(sigma, inst, weights, opts.heuristic);
+  return ModifyFds(ctx, tau, opts);
+}
+
+}  // namespace retrust

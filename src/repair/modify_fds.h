@@ -1,0 +1,108 @@
+// Minimal FD modification for a trust level τ (paper §5, Algorithm 2).
+//
+// Finds Σ' ∈ S(Σ) with δP(Σ', I) = α·|C2opt(Σ', I)| ≤ τ minimizing
+// distc(Σ, Σ'), by searching the LHS-extension tree with A* ordered by the
+// gc heuristic (or plain best-first on state cost, the paper's baseline).
+//
+// The conflict graph of any relaxation Σ' is a subgraph of Σ's conflict
+// graph (relaxations only remove violations), so the search precomputes Σ's
+// difference-set index once and evaluates every candidate Σ' by filtering
+// edge groups — no per-state conflict-graph rebuild.
+
+#ifndef RETRUST_REPAIR_MODIFY_FDS_H_
+#define RETRUST_REPAIR_MODIFY_FDS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/fd/difference_set.h"
+#include "src/repair/heuristic.h"
+#include "src/repair/state_space.h"
+
+namespace retrust {
+
+/// Search strategy for the open list.
+enum class SearchMode {
+  kAStar,      ///< order by gc(S) (Algorithm 2)
+  kBestFirst,  ///< order by cost(S) only (paper's baseline, §5.1)
+};
+
+/// Options for the FD-modification search.
+struct ModifyFdsOptions {
+  SearchMode mode = SearchMode::kAStar;
+  HeuristicOptions heuristic;
+  /// Resolve cost ties among goal states by smaller δP (Definition 4's
+  /// tie-break on distance to I). Costs within `cost_epsilon` tie.
+  bool tie_break_delta = true;
+  double cost_epsilon = 1e-9;
+  /// Safety cap on popped states (0 = unlimited).
+  int64_t max_visited = 0;
+};
+
+/// One FD repair: the chosen relaxation plus its measurements.
+struct FdRepair {
+  SearchState state;            ///< Δc(Σ, Σ')
+  FDSet sigma_prime;            ///< Σ' = Σ extended by `state`
+  double distc = 0.0;           ///< Σ w(Y_i)
+  int64_t cover_size = 0;       ///< |C2opt(Σ', I)|
+  int64_t delta_p = 0;          ///< α·|C2opt(Σ', I)|
+};
+
+/// Result of ModifyFds.
+struct ModifyFdsResult {
+  std::optional<FdRepair> repair;  ///< empty when no goal state exists
+  SearchStats stats;
+};
+
+/// Precomputed, τ-independent context shared by searches over one (Σ, I):
+/// the conflict graph of Σ, its difference-set index, state space, and
+/// heuristic. Build once, run ModifyFds/FindRepairsFds many times.
+class FdSearchContext {
+ public:
+  FdSearchContext(const FDSet& sigma, const EncodedInstance& inst,
+                  const WeightFunction& weights,
+                  const HeuristicOptions& hopts = {});
+
+  const FDSet& sigma() const { return sigma_; }
+  const StateSpace& space() const { return space_; }
+  const DifferenceSetIndex& index() const { return index_; }
+  const GcHeuristic& heuristic() const { return heuristic_; }
+  const WeightFunction& weights() const { return weights_; }
+  int64_t alpha() const { return heuristic_.alpha(); }
+  int num_tuples() const { return num_tuples_; }
+
+  /// |C2opt(Σ', I)| for the relaxation given by `s`: greedy cover over Σ's
+  /// conflict edges still violated under `s`, in canonical (u, v) order.
+  int64_t CoverSize(const SearchState& s, SearchStats* stats) const;
+
+  /// δP(Σ', I) = α · CoverSize.
+  int64_t DeltaP(const SearchState& s, SearchStats* stats) const;
+
+  /// δP(Σ, I) — the root bound; τ = 100% corresponds to this value.
+  int64_t RootDeltaP() const;
+
+ private:
+  FDSet sigma_;
+  int num_tuples_;
+  StateSpace space_;
+  DifferenceSetIndex index_;
+  const WeightFunction& weights_;
+  GcHeuristic heuristic_;
+  mutable MatchingCoverScratch scratch_;
+};
+
+/// Algorithm 2: cheapest Σ' with δP(Σ', I) ≤ τ (ties broken by δP when
+/// enabled). Returns no repair iff even the fully-extended space cannot
+/// reach δP ≤ τ.
+ModifyFdsResult ModifyFds(const FdSearchContext& ctx, int64_t tau,
+                          const ModifyFdsOptions& opts = {});
+
+/// Convenience overload building a one-shot context.
+ModifyFdsResult ModifyFds(const FDSet& sigma, const EncodedInstance& inst,
+                          int64_t tau, const WeightFunction& weights,
+                          const ModifyFdsOptions& opts = {});
+
+}  // namespace retrust
+
+#endif  // RETRUST_REPAIR_MODIFY_FDS_H_

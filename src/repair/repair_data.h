@@ -1,0 +1,93 @@
+// Near-optimal data modification (paper §6, Algorithms 4 and 5).
+//
+// Given Σ' and I, produces a V-instance I' |= Σ' changing at most
+// |C2opt(Σ', I)| · min(|R|-1, |Σ'|) cells — a 2·min(|R|-1, |Σ|)-approximation
+// of the minimum (Theorem 3). Tuples outside a 2-approximate vertex cover of
+// the conflict graph are kept verbatim; each cover tuple is repaired
+// attribute-by-attribute in random order, keeping a cell whenever some
+// assignment to the still-free attributes avoids all violations against the
+// clean set (Algorithm 5), and overwriting it from the last valid assignment
+// otherwise.
+
+#ifndef RETRUST_REPAIR_REPAIR_DATA_H_
+#define RETRUST_REPAIR_REPAIR_DATA_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fd/fdset.h"
+#include "src/relational/dictionary.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+
+namespace retrust {
+
+/// Result of RepairData.
+struct DataRepairResult {
+  EncodedInstance repaired;          ///< I' |= Σ' (a V-instance)
+  std::vector<CellRef> changed_cells;  ///< Δd(I, I')
+  int64_t cover_size = 0;            ///< |C2opt(Σ', I)|
+  /// The paper's per-repair change bound: cover_size * min(|R|-1, |Σ'|).
+  int64_t change_bound = 0;
+};
+
+/// Algorithm 4. `rng` drives the random tuple/attribute orders; fix the
+/// seed for reproducible repairs.
+DataRepairResult RepairData(const EncodedInstance& inst,
+                            const FDSet& sigma_prime, Rng* rng);
+
+namespace internal {
+
+/// Hash index over "clean" tuples, one map per FD: LHS projection codes ->
+/// (RHS code, witness tuple). Clean tuples satisfy Σ', so the RHS is unique
+/// per key. Exposed for unit tests.
+class CleanIndex {
+ public:
+  CleanIndex(const EncodedInstance& inst, const FDSet& sigma_prime);
+
+  /// Inserts tuple `t` of `inst` into every per-FD map.
+  void Insert(const EncodedInstance& inst, TupleId t);
+
+  /// For FD i, looks up the RHS code the clean set forces for the given
+  /// LHS key; returns nullopt when the key is absent.
+  std::optional<int32_t> ForcedRhs(int fd_index,
+                                   const std::vector<int32_t>& lhs_key) const;
+
+  /// Builds the LHS key of FD i for an arbitrary code row accessor.
+  template <typename GetCode>
+  std::vector<int32_t> MakeKey(int fd_index, GetCode&& get) const {
+    std::vector<int32_t> key;
+    key.reserve(lhs_cols_[fd_index].size());
+    for (AttrId a : lhs_cols_[fd_index]) key.push_back(get(a));
+    return key;
+  }
+
+  const std::vector<AttrId>& lhs_cols(int fd_index) const {
+    return lhs_cols_[fd_index];
+  }
+
+ private:
+  struct Maps;
+  std::vector<std::vector<AttrId>> lhs_cols_;
+  std::vector<AttrId> rhs_col_;
+  // map per FD: key -> rhs code.
+  std::vector<
+      std::unordered_map<std::vector<int32_t>, int32_t, CodeVectorHash>>
+      maps_;
+};
+
+/// Algorithm 5 (Find_Assignment): attempts to complete tuple `t` of `inst`
+/// into an assignment `tc` equal to `t` on `fixed` and violating no FD
+/// against the clean set. Returns the full code row of `tc` on success,
+/// nullopt when impossible. `fixed` is taken by value — the additions the
+/// algorithm makes while chasing forced values are local, as in the paper.
+std::optional<std::vector<int32_t>> FindAssignment(
+    EncodedInstance* inst, TupleId t, AttrSet fixed, const FDSet& sigma_prime,
+    const CleanIndex& clean);
+
+}  // namespace internal
+
+}  // namespace retrust
+
+#endif  // RETRUST_REPAIR_REPAIR_DATA_H_

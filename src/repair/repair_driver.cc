@@ -1,0 +1,45 @@
+#include "src/repair/repair_driver.h"
+
+#include <cmath>
+
+namespace retrust {
+
+std::optional<Repair> RepairDataAndFds(const FdSearchContext& ctx,
+                                       const EncodedInstance& inst,
+                                       int64_t tau,
+                                       const RepairOptions& opts) {
+  ModifyFdsResult search = ModifyFds(ctx, tau, opts.search);
+  if (!search.repair.has_value()) return std::nullopt;  // line 5: (φ, φ)
+
+  const FdRepair& fd_repair = *search.repair;
+  Rng rng(opts.seed);
+  DataRepairResult data = RepairData(inst, fd_repair.sigma_prime, &rng);
+
+  Repair out;
+  out.sigma_prime = fd_repair.sigma_prime;
+  out.extensions = fd_repair.state.ext;
+  out.distc = fd_repair.distc;
+  out.data = std::move(data.repaired);
+  out.changed_cells = std::move(data.changed_cells);
+  out.delta_p = fd_repair.delta_p;
+  out.stats = search.stats;
+  return out;
+}
+
+std::optional<Repair> RepairDataAndFds(const FDSet& sigma,
+                                       const EncodedInstance& inst,
+                                       int64_t tau,
+                                       const WeightFunction& weights,
+                                       const RepairOptions& opts) {
+  FdSearchContext ctx(sigma, inst, weights, opts.search.heuristic);
+  return RepairDataAndFds(ctx, inst, tau, opts);
+}
+
+int64_t TauFromRelative(double tau_r, int64_t root_delta_p) {
+  if (tau_r < 0) tau_r = 0;
+  if (tau_r > 1) tau_r = 1;
+  return static_cast<int64_t>(
+      std::llround(tau_r * static_cast<double>(root_delta_p)));
+}
+
+}  // namespace retrust

@@ -1,0 +1,56 @@
+// Algorithm 1 (Repair_Data_FDs): the end-to-end τ-constrained repair.
+//
+// Step 1 finds Σ' minimizing distc subject to δP(Σ', I) ≤ τ (Algorithm 2);
+// step 2 materializes I' |= Σ' with at most δP cell changes (Algorithm 4).
+// The result is a P-approximate τ-constrained repair with
+// P = 2·min(|R|-1, |Σ|) (paper Definition 5, Theorem 2).
+
+#ifndef RETRUST_REPAIR_REPAIR_DRIVER_H_
+#define RETRUST_REPAIR_REPAIR_DRIVER_H_
+
+#include <optional>
+
+#include "src/repair/modify_fds.h"
+#include "src/repair/repair_data.h"
+
+namespace retrust {
+
+/// Options for the end-to-end repair.
+struct RepairOptions {
+  ModifyFdsOptions search;
+  uint64_t seed = 1;  ///< drives Algorithm 4's random orders
+};
+
+/// A complete (Σ', I') repair plus measurements.
+struct Repair {
+  FDSet sigma_prime;
+  std::vector<AttrSet> extensions;   ///< Δc(Σ, Σ')
+  double distc = 0.0;
+  EncodedInstance data;              ///< I' (a V-instance)
+  std::vector<CellRef> changed_cells;  ///< Δd(I, I')
+  int64_t delta_p = 0;               ///< δP(Σ', I) bound used by the search
+  SearchStats stats;
+};
+
+/// Algorithm 1. Returns nullopt iff no relaxation of Σ admits a repair with
+/// at most τ cell changes (i.e. no goal state exists).
+std::optional<Repair> RepairDataAndFds(const FDSet& sigma,
+                                       const EncodedInstance& inst,
+                                       int64_t tau,
+                                       const WeightFunction& weights,
+                                       const RepairOptions& opts = {});
+
+/// Same, over a prebuilt search context (reuse across τ values).
+std::optional<Repair> RepairDataAndFds(const FdSearchContext& ctx,
+                                       const EncodedInstance& inst,
+                                       int64_t tau,
+                                       const RepairOptions& opts = {});
+
+/// Converts a relative trust level τr ∈ [0, 1] to an absolute τ against the
+/// root bound δP(Σ, I) (the paper defines τr against δopt, which is
+/// NP-hard; the PTIME bound only rescales the axis — see DESIGN.md).
+int64_t TauFromRelative(double tau_r, int64_t root_delta_p);
+
+}  // namespace retrust
+
+#endif  // RETRUST_REPAIR_REPAIR_DRIVER_H_

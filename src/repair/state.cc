@@ -1,0 +1,33 @@
+#include "src/repair/state.h"
+
+#include "src/util/hash.h"
+
+namespace retrust {
+
+std::string SearchState::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < ext.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ext[i].Empty() ? "φ" : ext[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string SearchState::ToString(const Schema& schema) const {
+  std::string out = "(";
+  for (size_t i = 0; i < ext.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ext[i].Empty() ? "φ" : ext[i].ToString(schema.Names());
+  }
+  out += ")";
+  return out;
+}
+
+size_t SearchStateHash::operator()(const SearchState& s) const {
+  uint64_t seed = 0x51ed270b8d3c7815ULL;
+  for (AttrSet y : s.ext) HashCombine(&seed, y.bits());
+  return static_cast<size_t>(seed);
+}
+
+}  // namespace retrust

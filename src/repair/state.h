@@ -1,0 +1,95 @@
+// Search states for FD modification: Δc(Σ, Σ') — one LHS-extension
+// attribute set per FD of Σ (paper §5.1).
+
+#ifndef RETRUST_REPAIR_STATE_H_
+#define RETRUST_REPAIR_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fd/fdset.h"
+#include "src/repair/weights.h"
+
+namespace retrust {
+
+/// A state of the FD-modification search: the vector of attribute sets
+/// appended to the LHSs of Σ's FDs.
+struct SearchState {
+  std::vector<AttrSet> ext;
+
+  SearchState() = default;
+  explicit SearchState(int num_fds) : ext(num_fds) {}
+  explicit SearchState(std::vector<AttrSet> e) : ext(std::move(e)) {}
+
+  /// The root state (φ, ..., φ).
+  static SearchState Root(int num_fds) { return SearchState(num_fds); }
+
+  bool IsRoot() const {
+    for (AttrSet y : ext) {
+      if (!y.Empty()) return false;
+    }
+    return true;
+  }
+
+  /// Union of all extension sets.
+  AttrSet UnionExt() const {
+    AttrSet u;
+    for (AttrSet y : ext) u = u.Union(y);
+    return u;
+  }
+
+  /// Total number of appended attribute slots (Σ |Y_i|).
+  int TotalAppended() const {
+    int c = 0;
+    for (AttrSet y : ext) c += y.Count();
+    return c;
+  }
+
+  /// Paper's "extends" partial order: ∀i, other.ext[i] ⊆ ext[i].
+  bool Extends(const SearchState& other) const {
+    for (size_t i = 0; i < ext.size(); ++i) {
+      if (!other.ext[i].SubsetOf(ext[i])) return false;
+    }
+    return true;
+  }
+
+  /// Cost distc(Σ, Σ') = Σ w(Y_i).
+  double Cost(const WeightFunction& w) const { return w.Cost(ext); }
+
+  /// Σ' = Σ extended by this state.
+  FDSet Apply(const FDSet& sigma) const { return sigma.Extend(ext); }
+
+  std::string ToString() const;
+  std::string ToString(const Schema& schema) const;
+
+  friend bool operator==(const SearchState& a, const SearchState& b) {
+    return a.ext == b.ext;
+  }
+};
+
+/// Hasher for SearchState.
+struct SearchStateHash {
+  size_t operator()(const SearchState& s) const;
+};
+
+/// Counters reported by the search algorithms (Figures 9-12 plot these).
+struct SearchStats {
+  int64_t states_visited = 0;    ///< states popped from the open list
+  int64_t states_generated = 0;  ///< states pushed onto the open list
+  int64_t heuristic_calls = 0;   ///< gc() evaluations
+  int64_t vc_computations = 0;   ///< approximate vertex covers computed
+  double seconds = 0.0;          ///< wall-clock time
+
+  void Accumulate(const SearchStats& o) {
+    states_visited += o.states_visited;
+    states_generated += o.states_generated;
+    heuristic_calls += o.heuristic_calls;
+    vc_computations += o.vc_computations;
+    seconds += o.seconds;
+  }
+};
+
+}  // namespace retrust
+
+#endif  // RETRUST_REPAIR_STATE_H_

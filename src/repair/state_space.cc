@@ -1,0 +1,84 @@
+#include "src/repair/state_space.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace retrust {
+
+StateSpace::StateSpace(const FDSet& sigma, const Schema& schema) {
+  allowed_.reserve(sigma.size());
+  for (const FD& fd : sigma.fds()) {
+    AttrSet banned = fd.lhs;
+    banned.Add(fd.rhs);
+    allowed_.push_back(schema.Universe().Minus(banned));
+  }
+}
+
+bool StateSpace::Valid(const SearchState& s) const {
+  if (s.ext.size() != allowed_.size()) return false;
+  for (size_t i = 0; i < allowed_.size(); ++i) {
+    if (!s.ext[i].SubsetOf(allowed_[i])) return false;
+  }
+  return true;
+}
+
+SearchState StateSpace::Parent(const SearchState& s) const {
+  AttrSet u = s.UnionExt();
+  if (u.Empty()) throw std::invalid_argument("root state has no parent");
+  AttrId a = u.Max();
+  // Last component containing a.
+  for (int i = static_cast<int>(s.ext.size()) - 1; i >= 0; --i) {
+    if (s.ext[i].Contains(a)) {
+      SearchState parent = s;
+      parent.ext[i].Remove(a);
+      return parent;
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+std::vector<SearchState> StateSpace::Children(const SearchState& s) const {
+  std::vector<SearchState> children;
+  AttrSet u = s.UnionExt();
+  AttrId max_attr = u.Max();  // -1 when root
+  // Last component containing max_attr (only meaningful when not root).
+  int last_idx = -1;
+  if (max_attr >= 0) {
+    for (int i = static_cast<int>(s.ext.size()) - 1; i >= 0; --i) {
+      if (s.ext[i].Contains(max_attr)) {
+        last_idx = i;
+        break;
+      }
+    }
+  }
+  for (int i = 0; i < num_fds(); ++i) {
+    for (AttrId a : allowed_[i].Minus(s.ext[i])) {
+      if (a < max_attr) continue;
+      if (a == max_attr && i <= last_idx) continue;
+      SearchState child = s;
+      child.ext[i].Add(a);
+      children.push_back(std::move(child));
+    }
+  }
+  return children;
+}
+
+std::vector<SearchState> StateSpace::EnumerateAll() const {
+  std::vector<SearchState> all;
+  std::vector<SearchState> stack = {SearchState::Root(num_fds())};
+  while (!stack.empty()) {
+    SearchState s = std::move(stack.back());
+    stack.pop_back();
+    for (SearchState& c : Children(s)) stack.push_back(std::move(c));
+    all.push_back(std::move(s));
+  }
+  return all;
+}
+
+double StateSpace::SpaceSize() const {
+  double size = 1.0;
+  for (AttrSet a : allowed_) size *= std::pow(2.0, a.Count());
+  return size;
+}
+
+}  // namespace retrust

@@ -1,0 +1,47 @@
+#include "src/repair/weights.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "src/util/hash.h"
+
+namespace retrust {
+
+double WeightFunction::Cost(const std::vector<AttrSet>& extensions) const {
+  double total = 0.0;
+  for (AttrSet y : extensions) total += Weight(y);
+  return total;
+}
+
+double DistinctCountWeight::Weight(AttrSet y) const {
+  if (y.Empty()) return 0.0;
+  auto it = cache_.find(y);
+  if (it != cache_.end()) return it->second;
+  double w = static_cast<double>(inst_.CountDistinctProjection(y));
+  cache_.emplace(y, w);
+  return w;
+}
+
+double EntropyWeight::Weight(AttrSet y) const {
+  if (y.Empty()) return 0.0;
+  auto it = cache_.find(y);
+  if (it != cache_.end()) return it->second;
+  // Empirical joint entropy of the Y-projection.
+  std::vector<AttrId> cols = y.ToVector();
+  std::unordered_map<std::vector<int32_t>, int64_t, CodeVectorHash> counts;
+  std::vector<int32_t> key(cols.size());
+  int n = inst_.NumTuples();
+  for (TupleId t = 0; t < n; ++t) {
+    for (size_t i = 0; i < cols.size(); ++i) key[i] = inst_.At(t, cols[i]);
+    ++counts[key];
+  }
+  double h = 0.0;
+  for (const auto& [k, c] : counts) {
+    double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  cache_.emplace(y, h);
+  return h;
+}
+
+}  // namespace retrust

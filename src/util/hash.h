@@ -1,0 +1,46 @@
+// Hash helpers shared by the partition / conflict-graph kernels.
+
+#ifndef RETRUST_UTIL_HASH_H_
+#define RETRUST_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace retrust {
+
+/// 64-bit mix (splitmix64 finalizer); good avalanche for integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines a hash value into a running seed (boost::hash_combine style,
+/// strengthened with Mix64).
+inline void HashCombine(uint64_t* seed, uint64_t value) {
+  *seed = Mix64(*seed ^ (value + 0x9e3779b97f4a7c15ULL + (*seed << 6) +
+                         (*seed >> 2)));
+}
+
+/// Hash of a span of 32-bit codes (LHS projection keys).
+inline uint64_t HashCodes(const int32_t* data, size_t n) {
+  uint64_t seed = 0x2545f4914f6cdd1dULL;
+  for (size_t i = 0; i < n; ++i) {
+    HashCombine(&seed, static_cast<uint64_t>(static_cast<uint32_t>(data[i])));
+  }
+  return seed;
+}
+
+/// Hasher for std::vector<int32_t> keys in unordered containers.
+struct CodeVectorHash {
+  size_t operator()(const std::vector<int32_t>& v) const {
+    return static_cast<size_t>(HashCodes(v.data(), v.size()));
+  }
+};
+
+}  // namespace retrust
+
+#endif  // RETRUST_UTIL_HASH_H_

@@ -1,0 +1,40 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace retrust {
+
+uint64_t Rng::NextUint(uint64_t bound) {
+  std::uniform_int_distribution<uint64_t> dist(0, bound - 1);
+  return dist(engine_);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  // Inverse-CDF sampling over the (unnormalized) harmonic weights. n is
+  // expected to be modest (attribute domain sizes), so a linear scan is fine
+  // relative to the cost of generating a tuple.
+  if (n <= 1) return 0;
+  double total = 0.0;
+  for (uint64_t r = 0; r < n; ++r) total += 1.0 / std::pow(double(r + 1), s);
+  double x = NextDouble() * total;
+  double acc = 0.0;
+  for (uint64_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(double(r + 1), s);
+    if (x < acc) return r;
+  }
+  return n - 1;
+}
+
+}  // namespace retrust

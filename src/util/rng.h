@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation for all randomized steps
+// (tuple/attribute ordering in Repair_Data, perturbation, data generation).
+//
+// Every algorithm that needs randomness takes an explicit Rng&, so runs are
+// reproducible given a seed. The engine is std::mt19937_64 wrapped behind a
+// small convenience API.
+
+#ifndef RETRUST_UTIL_RNG_H_
+#define RETRUST_UTIL_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace retrust {
+
+/// Seedable pseudo-random source used across the library.
+class Rng {
+ public:
+  /// Creates a generator with the given seed (default: fixed seed so that
+  /// forgetting to seed still yields reproducible runs).
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextUint(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p = 0.5);
+
+  /// Zipf-like rank in [0, n): probability of rank r proportional to
+  /// 1 / (r + 1)^s. Used by the census-like generator for value skew.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextUint(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Returns a uniformly random element index of a non-empty container.
+  template <typename C>
+  size_t PickIndex(const C& c) {
+    return static_cast<size_t>(NextUint(c.size()));
+  }
+
+  /// Underlying engine, for std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace retrust
+
+#endif  // RETRUST_UTIL_RNG_H_

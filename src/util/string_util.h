@@ -1,0 +1,29 @@
+// Small string helpers used by FD parsing and CSV I/O.
+
+#ifndef RETRUST_UTIL_STRING_UTIL_H_
+#define RETRUST_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace retrust {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` parses fully as a signed 64-bit integer.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// True if `s` parses fully as a double.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace retrust
+
+#endif  // RETRUST_UTIL_STRING_UTIL_H_

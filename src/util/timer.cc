@@ -1,0 +1,9 @@
+#include "src/util/timer.h"
+
+namespace retrust {
+
+double Timer::ElapsedSeconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+}  // namespace retrust

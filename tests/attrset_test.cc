@@ -1,0 +1,113 @@
+#include "src/relational/attrset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace retrust {
+namespace {
+
+TEST(AttrSet, EmptyByDefault) {
+  AttrSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_EQ(s.Min(), -1);
+  EXPECT_EQ(s.Max(), -1);
+}
+
+TEST(AttrSet, AddRemoveContains) {
+  AttrSet s;
+  s.Add(3);
+  s.Add(7);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_FALSE(s.Contains(5));
+  EXPECT_EQ(s.Count(), 2);
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.Count(), 1);
+  s.Remove(3);  // idempotent
+  EXPECT_EQ(s.Count(), 1);
+}
+
+TEST(AttrSet, InitializerList) {
+  AttrSet s{1, 4, 63};
+  EXPECT_EQ(s.Count(), 3);
+  EXPECT_TRUE(s.Contains(63));
+  EXPECT_EQ(s.Min(), 1);
+  EXPECT_EQ(s.Max(), 63);
+}
+
+TEST(AttrSet, Single) {
+  AttrSet s = AttrSet::Single(9);
+  EXPECT_EQ(s.Count(), 1);
+  EXPECT_TRUE(s.Contains(9));
+}
+
+TEST(AttrSet, Universe) {
+  EXPECT_EQ(AttrSet::Universe(0).Count(), 0);
+  EXPECT_EQ(AttrSet::Universe(5).Count(), 5);
+  EXPECT_EQ(AttrSet::Universe(64).Count(), 64);
+  EXPECT_TRUE(AttrSet::Universe(5).Contains(4));
+  EXPECT_FALSE(AttrSet::Universe(5).Contains(5));
+}
+
+TEST(AttrSet, SetAlgebra) {
+  AttrSet a{1, 2, 3};
+  AttrSet b{3, 4};
+  EXPECT_EQ(a.Union(b), (AttrSet{1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), AttrSet{3});
+  EXPECT_EQ(a.Minus(b), (AttrSet{1, 2}));
+  EXPECT_EQ(b.Minus(a), AttrSet{4});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(AttrSet{5}));
+}
+
+TEST(AttrSet, SubsetRelations) {
+  AttrSet a{1, 2};
+  AttrSet b{1, 2, 3};
+  EXPECT_TRUE(a.SubsetOf(b));
+  EXPECT_TRUE(a.SubsetOf(a));
+  EXPECT_TRUE(a.ProperSubsetOf(b));
+  EXPECT_FALSE(a.ProperSubsetOf(a));
+  EXPECT_FALSE(b.SubsetOf(a));
+  EXPECT_TRUE(AttrSet().SubsetOf(a));
+}
+
+TEST(AttrSet, IterationInIncreasingOrder) {
+  AttrSet s{9, 0, 44, 17};
+  std::vector<AttrId> got;
+  for (AttrId a : s) got.push_back(a);
+  EXPECT_EQ(got, (std::vector<AttrId>{0, 9, 17, 44}));
+  EXPECT_EQ(s.ToVector(), got);
+}
+
+TEST(AttrSet, MinMax) {
+  AttrSet s{5, 12, 33};
+  EXPECT_EQ(s.Min(), 5);
+  EXPECT_EQ(s.Max(), 33);
+}
+
+TEST(AttrSet, ToStringWithAndWithoutNames) {
+  AttrSet s{0, 2};
+  EXPECT_EQ(s.ToString(), "{0,2}");
+  EXPECT_EQ(s.ToString({"A", "B", "C"}), "{A,C}");
+  EXPECT_EQ(AttrSet().ToString(), "{}");
+}
+
+TEST(AttrSet, HashDistinguishesSets) {
+  AttrSetHash h;
+  std::set<size_t> hashes;
+  for (int i = 0; i < 64; ++i) hashes.insert(h(AttrSet::Single(i)));
+  EXPECT_EQ(hashes.size(), 64u);
+}
+
+TEST(AttrSet, OrderingIsTotal) {
+  AttrSet a{1};
+  AttrSet b{2};
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace retrust

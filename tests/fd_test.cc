@@ -1,0 +1,54 @@
+#include "src/fd/fd.h"
+
+#include <gtest/gtest.h>
+
+namespace retrust {
+namespace {
+
+Schema Abcde() { return Schema::FromNames({"A", "B", "C", "D", "E"}); }
+
+TEST(FD, Trivial) {
+  EXPECT_TRUE(FD(AttrSet{0, 1}, 1).IsTrivial());
+  EXPECT_FALSE(FD(AttrSet{0, 1}, 2).IsTrivial());
+}
+
+TEST(FD, ViolatedByDiffSet) {
+  FD fd(AttrSet{0, 1}, 2);  // AB -> C
+  // Pair disagrees on C, agrees on A and B: violated.
+  EXPECT_TRUE(fd.ViolatedByDiffSet(AttrSet{2}));
+  EXPECT_TRUE(fd.ViolatedByDiffSet(AttrSet{2, 3}));
+  // Pair disagrees on an LHS attribute: not violated.
+  EXPECT_FALSE(fd.ViolatedByDiffSet(AttrSet{0, 2}));
+  EXPECT_FALSE(fd.ViolatedByDiffSet(AttrSet{1, 2, 4}));
+  // Pair agrees on C: not violated.
+  EXPECT_FALSE(fd.ViolatedByDiffSet(AttrSet{3, 4}));
+  EXPECT_FALSE(fd.ViolatedByDiffSet(AttrSet()));
+}
+
+TEST(FD, ParseAndPrint) {
+  Schema s = Abcde();
+  FD fd = FD::Parse("A,B->C", s);
+  EXPECT_EQ(fd.lhs, (AttrSet{0, 1}));
+  EXPECT_EQ(fd.rhs, 2);
+  EXPECT_EQ(fd.ToString(s), "A,B->C");
+  EXPECT_EQ(FD::Parse(" A , D -> E ", s).lhs, (AttrSet{0, 3}));
+}
+
+TEST(FD, ParseRejectsBadInput) {
+  Schema s = Abcde();
+  EXPECT_THROW(FD::Parse("A,B", s), std::invalid_argument);
+  EXPECT_THROW(FD::Parse("A->Z", s), std::invalid_argument);
+  EXPECT_THROW(FD::Parse("Z->A", s), std::invalid_argument);
+}
+
+TEST(FD, EqualityAndOrdering) {
+  FD a(AttrSet{0}, 1);
+  FD b(AttrSet{0}, 1);
+  FD c(AttrSet{0, 2}, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a < c || c < a);
+}
+
+}  // namespace
+}  // namespace retrust

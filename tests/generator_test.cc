@@ -1,0 +1,107 @@
+#include "src/eval/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fd/violation.h"
+
+namespace retrust {
+namespace {
+
+TEST(Generator, ShapeMatchesConfig) {
+  CensusConfig cfg;
+  cfg.num_tuples = 200;
+  cfg.num_attrs = 12;
+  cfg.planted_lhs_sizes = {4, 3};
+  cfg.seed = 1;
+  GeneratedData data = GenerateCensusLike(cfg);
+  EXPECT_EQ(data.instance.NumTuples(), 200);
+  EXPECT_EQ(data.instance.NumAttrs(), 12);
+  EXPECT_EQ(data.planted_fds.size(), 2);
+  EXPECT_EQ(data.planted_fds.fd(0).lhs.Count(), 4);
+  EXPECT_EQ(data.planted_fds.fd(1).lhs.Count(), 3);
+}
+
+TEST(Generator, PlantedFdsHoldExactly) {
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    CensusConfig cfg;
+    cfg.num_tuples = 500;
+    cfg.num_attrs = 14;
+    cfg.planted_lhs_sizes = {5, 4};
+    cfg.seed = seed;
+    GeneratedData data = GenerateCensusLike(cfg);
+    EncodedInstance enc(data.instance);
+    EXPECT_TRUE(Satisfies(enc, data.planted_fds)) << "seed " << seed;
+  }
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  CensusConfig cfg;
+  cfg.num_tuples = 100;
+  cfg.num_attrs = 10;
+  cfg.seed = 5;
+  GeneratedData a = GenerateCensusLike(cfg);
+  GeneratedData b = GenerateCensusLike(cfg);
+  EXPECT_EQ(a.instance.DistdTo(b.instance), 0);
+  cfg.seed = 6;
+  GeneratedData c = GenerateCensusLike(cfg);
+  EXPECT_GT(a.instance.DistdTo(c.instance), 0);
+}
+
+TEST(Generator, DuplicateClustersExist) {
+  // The entity model must produce tuple pairs agreeing on ALL base
+  // attributes (the precondition for RHS-violation injection).
+  CensusConfig cfg;
+  cfg.num_tuples = 400;
+  cfg.num_attrs = 10;
+  cfg.planted_lhs_sizes = {4};
+  cfg.dup_factor = 4;
+  cfg.seed = 9;
+  GeneratedData data = GenerateCensusLike(cfg);
+  EncodedInstance enc(data.instance);
+  const FD& fd = data.planted_fds.fd(0);
+  // Count tuples sharing their full-LHS key with another tuple.
+  int64_t distinct = enc.CountDistinctProjection(fd.lhs);
+  EXPECT_LT(distinct, data.instance.NumTuples());
+}
+
+TEST(Generator, UsesCensusNames) {
+  CensusConfig cfg;
+  cfg.num_tuples = 10;
+  cfg.num_attrs = 8;
+  cfg.planted_lhs_sizes = {3};
+  GeneratedData data = GenerateCensusLike(cfg);
+  EXPECT_EQ(data.instance.schema().name(0), CensusAttributeNames()[0]);
+  EXPECT_EQ(CensusAttributeNames().size(), 40u);
+}
+
+TEST(Generator, RejectsImpossibleConfigs) {
+  CensusConfig too_narrow;
+  too_narrow.num_attrs = 5;
+  too_narrow.planted_lhs_sizes = {6};  // LHS wider than schema
+  EXPECT_THROW(GenerateCensusLike(too_narrow), std::invalid_argument);
+
+  CensusConfig too_wide;
+  too_wide.num_attrs = 64;  // beyond the 40 named attributes
+  EXPECT_THROW(GenerateCensusLike(too_wide), std::invalid_argument);
+
+  CensusConfig base_overflow;
+  base_overflow.num_attrs = 8;
+  base_overflow.planted_lhs_sizes = {4};
+  base_overflow.num_base_attrs = 8;  // no room for the derived attribute
+  EXPECT_THROW(GenerateCensusLike(base_overflow), std::invalid_argument);
+}
+
+TEST(Generator, PlantedRhsOutsideBaseAttrs) {
+  CensusConfig cfg;
+  cfg.num_tuples = 50;
+  cfg.num_attrs = 10;
+  cfg.planted_lhs_sizes = {3, 3};
+  GeneratedData data = GenerateCensusLike(cfg);
+  for (const FD& fd : data.planted_fds.fds()) {
+    EXPECT_FALSE(fd.lhs.Contains(fd.rhs));
+    for (AttrId a : fd.lhs) EXPECT_LT(a, fd.rhs);
+  }
+}
+
+}  // namespace
+}  // namespace retrust

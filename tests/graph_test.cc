@@ -1,0 +1,50 @@
+#include "src/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace retrust {
+namespace {
+
+TEST(Edge, NormalizesEndpointOrder) {
+  Edge e(5, 2);
+  EXPECT_EQ(e.u, 2);
+  EXPECT_EQ(e.v, 5);
+  EXPECT_EQ(Edge(2, 5), Edge(5, 2));
+}
+
+TEST(Edge, Ordering) {
+  EXPECT_TRUE(Edge(0, 1) < Edge(0, 2));
+  EXPECT_TRUE(Edge(0, 9) < Edge(1, 2));
+  EXPECT_FALSE(Edge(1, 2) < Edge(1, 2));
+}
+
+TEST(Graph, AddEdgeValidation) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  EXPECT_THROW(g.AddEdge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.AddEdge(0, 3), std::out_of_range);
+  EXPECT_THROW(g.AddEdge(-1, 0), std::out_of_range);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, Adjacency) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 0);
+  g.AddEdge(1, 3);
+  auto adj = g.BuildAdjacency();
+  EXPECT_EQ(adj[0], (std::vector<int32_t>{1, 2}));
+  EXPECT_EQ(adj[1], (std::vector<int32_t>{0, 3}));
+  EXPECT_EQ(adj[3], (std::vector<int32_t>{1}));
+}
+
+TEST(Graph, Degrees) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  EXPECT_EQ(g.Degrees(), (std::vector<int32_t>{3, 1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace retrust

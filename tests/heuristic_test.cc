@@ -1,0 +1,151 @@
+#include "src/repair/heuristic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/eval/generator.h"
+#include "src/eval/perturb.h"
+#include "src/repair/modify_fds.h"
+
+namespace retrust {
+namespace {
+
+Instance Fig2() {
+  Instance inst(Schema::FromNames({"A", "B", "C", "D"}));
+  auto add = [&](const char* a, const char* b, const char* c,
+                 const char* d) {
+    inst.AddTuple({Value(a), Value(b), Value(c), Value(d)});
+  };
+  add("1", "1", "1", "1");
+  add("1", "2", "1", "3");
+  add("2", "2", "1", "1");
+  add("2", "3", "4", "3");
+  return inst;
+}
+
+TEST(RepairAlpha, MinOfAttrsMinusOneAndFds) {
+  EXPECT_EQ(RepairAlpha(4, 2), 2);
+  EXPECT_EQ(RepairAlpha(3, 7), 2);
+  EXPECT_EQ(RepairAlpha(10, 1), 1);
+}
+
+TEST(GcHeuristic, RootEstimateNeverAboveCheapestGoal) {
+  // Exhaustively verify admissibility on the Figure 2 space with the
+  // cardinality weight: gc(S) <= cost of the cheapest goal state that
+  // extends S (goal test via the context's CoverSize).
+  EncodedInstance enc(Fig2());
+  FDSet sigma = FDSet::Parse({"A->B", "C->D"}, Fig2().schema());
+  CardinalityWeight w;
+  FdSearchContext ctx(sigma, enc, w);
+  StateSpace space(sigma, Fig2().schema());
+
+  for (int64_t tau : {0, 2, 4, 8}) {
+    for (const SearchState& s : space.EnumerateAll()) {
+      SearchStats stats;
+      double gc = ctx.heuristic().Compute(s, tau, &stats);
+      // Cheapest goal extending s (exhaustive oracle).
+      double cheapest = GcHeuristic::kInfinity;
+      for (const SearchState& t : space.EnumerateAll()) {
+        if (!t.Extends(s)) continue;
+        if (ctx.DeltaP(t, nullptr) <= tau) {
+          cheapest = std::min(cheapest, t.Cost(w));
+        }
+      }
+      if (cheapest == GcHeuristic::kInfinity) {
+        // No goal below s: gc may be anything >= cost(s); infinity is the
+        // informative answer but not required (subset of diffsets).
+        continue;
+      }
+      EXPECT_LE(gc, cheapest + 1e-9)
+          << "overestimate at " << s.ToString() << " tau=" << tau;
+      EXPECT_GE(gc, s.Cost(w) - 1e-9);
+    }
+  }
+}
+
+TEST(GcHeuristic, GoalStateHasGcEqualToOwnCost) {
+  EncodedInstance enc(Fig2());
+  FDSet sigma = FDSet::Parse({"A->B", "C->D"}, Fig2().schema());
+  CardinalityWeight w;
+  FdSearchContext ctx(sigma, enc, w);
+  // Fully-extended state that satisfies everything within tau=100.
+  SearchStats stats;
+  SearchState root = SearchState::Root(2);
+  double gc = ctx.heuristic().Compute(root, 100, &stats);
+  EXPECT_DOUBLE_EQ(gc, 0.0);  // root itself is a goal at large tau
+}
+
+TEST(GcHeuristic, InfinityWhenNoGoalExists) {
+  // Tuples differing ONLY on the RHS cannot be fixed by any LHS extension;
+  // with tau = 0 no goal state exists anywhere.
+  Instance inst(Schema::FromNames({"A", "B", "C"}));
+  inst.AddTuple({Value("1"), Value("1"), Value("x")});
+  inst.AddTuple({Value("1"), Value("1"), Value("y")});
+  EncodedInstance enc(inst);
+  FDSet sigma = FDSet::Parse({"A->C"}, inst.schema());
+  CardinalityWeight w;
+  FdSearchContext ctx(sigma, enc, w);
+  SearchStats stats;
+  EXPECT_EQ(ctx.heuristic().Compute(SearchState::Root(1), 0, &stats),
+            GcHeuristic::kInfinity);
+  // With tau large enough to absorb the repair, the root is a goal.
+  EXPECT_EQ(ctx.heuristic().Compute(SearchState::Root(1), 10, &stats), 0.0);
+}
+
+TEST(GcHeuristic, MonotoneInTau) {
+  // Smaller tau can only raise gc (fewer groups may stay unresolved).
+  CensusConfig cfg;
+  cfg.num_tuples = 400;
+  cfg.num_attrs = 10;
+  cfg.planted_lhs_sizes = {4};
+  cfg.seed = 9;
+  GeneratedData data = GenerateCensusLike(cfg);
+  PerturbOptions popts;
+  popts.fd_error_rate = 0.5;
+  popts.data_error_rate = 0.02;
+  popts.seed = 3;
+  PerturbedData dirty = Perturb(data.instance, data.planted_fds, popts);
+  EncodedInstance enc(dirty.data);
+  DistinctCountWeight w(enc);
+  FdSearchContext ctx(dirty.fds, enc, w);
+  SearchStats stats;
+  SearchState root = SearchState::Root(dirty.fds.size());
+  double prev = -1;
+  for (int64_t tau : {400, 200, 100, 50, 20, 5, 0}) {
+    double gc = ctx.heuristic().Compute(root, tau, &stats);
+    if (prev >= 0 && gc != GcHeuristic::kInfinity) {
+      EXPECT_GE(gc, prev - 1e-9) << "gc must grow as tau shrinks";
+    }
+    if (gc != GcHeuristic::kInfinity) prev = gc;
+  }
+}
+
+TEST(GcHeuristic, UncappedAtLeastAsTightAsCapped) {
+  CensusConfig cfg;
+  cfg.num_tuples = 400;
+  cfg.num_attrs = 10;
+  cfg.planted_lhs_sizes = {4};
+  cfg.seed = 10;
+  GeneratedData data = GenerateCensusLike(cfg);
+  PerturbOptions popts;
+  popts.fd_error_rate = 0.5;
+  popts.data_error_rate = 0.0;
+  popts.seed = 4;
+  PerturbedData dirty = Perturb(data.instance, data.planted_fds, popts);
+  EncodedInstance enc(dirty.data);
+  DistinctCountWeight w(enc);
+  HeuristicOptions small;
+  small.max_diffsets = 1;
+  FdSearchContext ctx_small(dirty.fds, enc, w, small);
+  FdSearchContext ctx_big(dirty.fds, enc, w, HeuristicOptions{});
+  SearchStats stats;
+  SearchState root = SearchState::Root(dirty.fds.size());
+  int64_t tau = 10;
+  double loose = ctx_small.heuristic().Compute(root, tau, &stats);
+  double tight = ctx_big.heuristic().ComputeUncapped(root, tau, &stats);
+  if (loose != GcHeuristic::kInfinity && tight != GcHeuristic::kInfinity) {
+    EXPECT_LE(loose, tight + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace retrust

@@ -1,0 +1,109 @@
+#include "src/relational/instance.h"
+
+#include <gtest/gtest.h>
+
+namespace retrust {
+namespace {
+
+Instance Small() {
+  Instance inst(Schema({{"A", AttrType::kInt}, {"B", AttrType::kString}}));
+  inst.AddTuple({Value(int64_t{1}), Value("x")});
+  inst.AddTuple({Value(int64_t{2}), Value("y")});
+  return inst;
+}
+
+TEST(Instance, AddAndAccess) {
+  Instance inst = Small();
+  EXPECT_EQ(inst.NumTuples(), 2);
+  EXPECT_EQ(inst.NumAttrs(), 2);
+  EXPECT_EQ(inst.At(0, 0), Value(int64_t{1}));
+  EXPECT_EQ(inst.At(1, 1), Value("y"));
+}
+
+TEST(Instance, RejectsWrongArity) {
+  Instance inst = Small();
+  EXPECT_THROW(inst.AddTuple({Value(int64_t{3})}), std::invalid_argument);
+}
+
+TEST(Instance, SetCell) {
+  Instance inst = Small();
+  inst.Set(0, 1, Value("z"));
+  EXPECT_EQ(inst.At(0, 1), Value("z"));
+}
+
+TEST(Instance, NewVariableIncrementsPerAttribute) {
+  Instance inst = Small();
+  Value v0 = inst.NewVariable(0);
+  Value v1 = inst.NewVariable(0);
+  Value w0 = inst.NewVariable(1);
+  EXPECT_NE(v0, v1);
+  EXPECT_EQ(v0.AsVariable().index, 0);
+  EXPECT_EQ(v1.AsVariable().index, 1);
+  EXPECT_EQ(w0.AsVariable().index, 0);
+  EXPECT_EQ(w0.AsVariable().attr, 1);
+}
+
+TEST(Instance, VariableCountersRespectInsertedTuples) {
+  Instance inst(Schema({{"A", AttrType::kInt}}));
+  inst.AddTuple({Value::Variable(0, 5)});
+  EXPECT_EQ(inst.NewVariable(0).AsVariable().index, 6);
+}
+
+TEST(Instance, DiffCellsAndDistd) {
+  Instance a = Small();
+  Instance b = Small();
+  EXPECT_TRUE(a.DiffCells(b).empty());
+  b.Set(1, 0, Value(int64_t{9}));
+  auto diff = a.DiffCells(b);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].tuple, 1);
+  EXPECT_EQ(diff[0].attr, 0);
+  EXPECT_EQ(a.DistdTo(b), 1);
+}
+
+TEST(Instance, DiffCellsRequiresSameShape) {
+  Instance a = Small();
+  Instance b(a.schema());
+  EXPECT_THROW(a.DiffCells(b), std::invalid_argument);
+}
+
+TEST(Instance, VariableVsConstantIsADiff) {
+  Instance a = Small();
+  Instance b = Small();
+  b.Set(0, 0, Value::Variable(0, 0));
+  EXPECT_EQ(a.DistdTo(b), 1);
+}
+
+TEST(Instance, IsGround) {
+  Instance a = Small();
+  EXPECT_TRUE(a.IsGround());
+  a.Set(0, 0, a.NewVariable(0));
+  EXPECT_FALSE(a.IsGround());
+}
+
+TEST(Instance, GroundInstantiatesVariablesDistinctAndFresh) {
+  Instance inst(Schema({{"A", AttrType::kInt}, {"B", AttrType::kString}}));
+  inst.AddTuple({Value(int64_t{10}), Value("u")});
+  inst.AddTuple({inst.NewVariable(0), inst.NewVariable(1)});
+  inst.AddTuple({inst.NewVariable(0), Value("v")});
+  Instance g = inst.Ground();
+  EXPECT_TRUE(g.IsGround());
+  // Fresh: not colliding with the active domain.
+  EXPECT_NE(g.At(1, 0), Value(int64_t{10}));
+  EXPECT_NE(g.At(1, 1), Value("u"));
+  EXPECT_NE(g.At(1, 1), Value("v"));
+  // Distinct variables -> distinct constants.
+  EXPECT_NE(g.At(1, 0), g.At(2, 0));
+  // Unchanged cells stay put.
+  EXPECT_EQ(g.At(0, 0), Value(int64_t{10}));
+  EXPECT_EQ(g.At(2, 1), Value("v"));
+}
+
+TEST(Instance, ToTableContainsHeaderAndValues) {
+  std::string table = Small().ToTable();
+  EXPECT_NE(table.find("A"), std::string::npos);
+  EXPECT_NE(table.find("y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace retrust

@@ -1,0 +1,139 @@
+#include "src/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace retrust {
+namespace {
+
+Instance Base() {
+  Instance inst(Schema::FromNames({"A", "B"}));
+  inst.AddTuple({Value("1"), Value("x")});
+  inst.AddTuple({Value("2"), Value("y")});
+  inst.AddTuple({Value("3"), Value("z")});
+  return inst;
+}
+
+TEST(DataMetrics, PerfectRepair) {
+  Instance clean = Base();
+  Instance dirty = Base();
+  dirty.Set(0, 0, Value("err"));
+  Instance repaired = Base();  // restores the clean value
+  PrecisionRecall pr = EvaluateDataRepair(clean, dirty, repaired);
+  EXPECT_EQ(pr.correct, 1);
+  EXPECT_EQ(pr.proposed, 1);
+  EXPECT_EQ(pr.truth, 1);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_DOUBLE_EQ(pr.F(), 1.0);
+}
+
+TEST(DataMetrics, VariableCountsAsCorrect) {
+  Instance clean = Base();
+  Instance dirty = Base();
+  dirty.Set(1, 1, Value("err"));
+  Instance repaired = Base();
+  repaired.Set(1, 1, Value::Variable(1, 0));
+  PrecisionRecall pr = EvaluateDataRepair(clean, dirty, repaired);
+  EXPECT_EQ(pr.correct, 1);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+}
+
+TEST(DataMetrics, WrongCellModificationHurtsPrecision) {
+  Instance clean = Base();
+  Instance dirty = Base();
+  dirty.Set(0, 0, Value("err"));
+  Instance repaired = dirty;  // error untouched...
+  repaired.Set(2, 1, Value("w"));  // ...unrelated clean cell broken
+  PrecisionRecall pr = EvaluateDataRepair(clean, dirty, repaired);
+  EXPECT_EQ(pr.correct, 0);
+  EXPECT_EQ(pr.proposed, 1);
+  EXPECT_EQ(pr.truth, 1);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+  EXPECT_DOUBLE_EQ(pr.F(), 0.0);
+}
+
+TEST(DataMetrics, WrongValueOnErroneousCellNotCorrect) {
+  Instance clean = Base();
+  Instance dirty = Base();
+  dirty.Set(0, 0, Value("err"));
+  Instance repaired = dirty;
+  repaired.Set(0, 0, Value("still-wrong"));
+  PrecisionRecall pr = EvaluateDataRepair(clean, dirty, repaired);
+  EXPECT_EQ(pr.correct, 0);
+  EXPECT_EQ(pr.proposed, 1);
+}
+
+TEST(DataMetrics, EmptyDenominatorConventions) {
+  Instance clean = Base();
+  // No errors, no modifications: both default to 1 (Figure 8 convention).
+  PrecisionRecall pr = EvaluateDataRepair(clean, clean, clean);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  // No errors but spurious modifications: precision 0, recall 1.
+  Instance repaired = Base();
+  repaired.Set(0, 0, Value("w"));
+  pr = EvaluateDataRepair(clean, clean, repaired);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(DataMetrics, RequiresAlignedInstances) {
+  Instance clean = Base();
+  Instance shorter(clean.schema());
+  EXPECT_THROW(EvaluateDataRepair(clean, shorter, clean),
+               std::invalid_argument);
+}
+
+TEST(FdMetrics, ExactMatch) {
+  PrecisionRecall pr =
+      EvaluateFdRepair({AttrSet{1, 2}}, {AttrSet{1, 2}});
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(FdMetrics, PartialOverlap) {
+  // Appended {1,3}, removed {1,2}: one of two appends correct; one of two
+  // removals recovered.
+  PrecisionRecall pr = EvaluateFdRepair({AttrSet{1, 3}}, {AttrSet{1, 2}});
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.5);
+  EXPECT_DOUBLE_EQ(pr.F(), 0.5);
+}
+
+TEST(FdMetrics, MultipleFdsAggregate) {
+  PrecisionRecall pr = EvaluateFdRepair(
+      {AttrSet{1}, AttrSet{4, 5}}, {AttrSet{1, 2}, AttrSet{4}});
+  EXPECT_EQ(pr.correct, 2);
+  EXPECT_EQ(pr.proposed, 3);
+  EXPECT_EQ(pr.truth, 3);
+}
+
+TEST(FdMetrics, EmptyDenominatorConventions) {
+  // Nothing appended, nothing removed: perfect.
+  PrecisionRecall pr = EvaluateFdRepair({AttrSet()}, {AttrSet()});
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  // Nothing appended but attributes were removed: recall 0 (Figure 8's
+  // Uniform-Cost rows).
+  pr = EvaluateFdRepair({AttrSet()}, {AttrSet{1}});
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+  EXPECT_DOUBLE_EQ(pr.F(), 0.0);
+}
+
+TEST(FdMetrics, RequiresAlignment) {
+  EXPECT_THROW(EvaluateFdRepair({AttrSet()}, {}), std::invalid_argument);
+}
+
+TEST(RepairQuality, CombinedFAveragesBothSides) {
+  RepairQuality q;
+  q.data.precision = 1.0;
+  q.data.recall = 1.0;
+  q.fd.precision = 0.0;
+  q.fd.recall = 0.0;
+  EXPECT_DOUBLE_EQ(q.CombinedF(), 0.5);
+}
+
+}  // namespace
+}  // namespace retrust

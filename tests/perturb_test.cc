@@ -1,0 +1,150 @@
+#include "src/eval/perturb.h"
+
+#include <gtest/gtest.h>
+
+#include "src/eval/generator.h"
+#include "src/fd/violation.h"
+
+namespace retrust {
+namespace {
+
+GeneratedData Clean(uint64_t seed) {
+  CensusConfig cfg;
+  cfg.num_tuples = 400;
+  cfg.num_attrs = 10;
+  cfg.planted_lhs_sizes = {4};
+  cfg.seed = seed;
+  return GenerateCensusLike(cfg);
+}
+
+TEST(Perturb, FdErrorRemovesLhsAttributes) {
+  GeneratedData data = Clean(1);
+  PerturbOptions opts;
+  opts.fd_error_rate = 0.5;
+  opts.data_error_rate = 0.0;
+  opts.seed = 2;
+  PerturbedData dirty = Perturb(data.instance, data.planted_fds, opts);
+  // 50% of 4 LHS slots = 2 removed.
+  EXPECT_EQ(dirty.removed_lhs[0].Count(), 2);
+  EXPECT_EQ(dirty.fds.fd(0).lhs.Count(), 2);
+  // Removed ∪ remaining = original LHS.
+  EXPECT_EQ(dirty.fds.fd(0).lhs.Union(dirty.removed_lhs[0]),
+            data.planted_fds.fd(0).lhs);
+  // Data untouched.
+  EXPECT_EQ(data.instance.DistdTo(dirty.data), 0);
+  EXPECT_TRUE(dirty.perturbed_cells.empty());
+}
+
+TEST(Perturb, NeverEmptiesLhs) {
+  GeneratedData data = Clean(2);
+  PerturbOptions opts;
+  opts.fd_error_rate = 1.0;
+  opts.data_error_rate = 0.0;
+  opts.seed = 3;
+  PerturbedData dirty = Perturb(data.instance, data.planted_fds, opts);
+  EXPECT_GE(dirty.fds.fd(0).lhs.Count(), 1);
+}
+
+TEST(Perturb, DataErrorsCreateViolations) {
+  GeneratedData data = Clean(3);
+  PerturbOptions opts;
+  opts.fd_error_rate = 0.0;
+  opts.data_error_rate = 0.05;
+  opts.seed = 4;
+  PerturbedData dirty = Perturb(data.instance, data.planted_fds, opts);
+  EXPECT_FALSE(dirty.perturbed_cells.empty());
+  EncodedInstance enc(dirty.data);
+  // The clean FDs are now violated (every injected error violates one).
+  EXPECT_FALSE(Satisfies(enc, data.planted_fds));
+  // Reported cells are exactly the changed cells.
+  auto diff = data.instance.DiffCells(dirty.data);
+  EXPECT_EQ(diff.size(), dirty.perturbed_cells.size());
+}
+
+TEST(Perturb, ErrorCountTracksRate) {
+  GeneratedData data = Clean(4);
+  PerturbOptions opts;
+  opts.fd_error_rate = 0.0;
+  opts.data_error_rate = 0.04;
+  opts.seed = 5;
+  PerturbedData dirty = Perturb(data.instance, data.planted_fds, opts);
+  // 4% of 400 tuples = 16 errors (the generator may fall short only when
+  // it runs out of injectable pairs).
+  EXPECT_LE(dirty.perturbed_cells.size(), 16u);
+  EXPECT_GE(dirty.perturbed_cells.size(), 12u);
+}
+
+TEST(Perturb, EachTupleTouchedAtMostOnce) {
+  GeneratedData data = Clean(5);
+  PerturbOptions opts;
+  opts.fd_error_rate = 0.0;
+  opts.data_error_rate = 0.08;
+  opts.seed = 6;
+  PerturbedData dirty = Perturb(data.instance, data.planted_fds, opts);
+  std::set<TupleId> tuples;
+  for (const CellRef& c : dirty.perturbed_cells) {
+    EXPECT_TRUE(tuples.insert(c.tuple).second)
+        << "tuple perturbed twice: t" << c.tuple;
+  }
+}
+
+TEST(Perturb, RhsOnlyInjection) {
+  GeneratedData data = Clean(6);
+  PerturbOptions opts;
+  opts.fd_error_rate = 0.0;
+  opts.data_error_rate = 0.03;
+  opts.rhs_violation_share = 1.0;
+  opts.seed = 7;
+  PerturbedData dirty = Perturb(data.instance, data.planted_fds, opts);
+  // All perturbed cells are on the FD's RHS attribute.
+  for (const CellRef& c : dirty.perturbed_cells) {
+    EXPECT_EQ(c.attr, data.planted_fds.fd(0).rhs);
+  }
+}
+
+TEST(Perturb, LhsOnlyInjection) {
+  GeneratedData data = Clean(7);
+  PerturbOptions opts;
+  opts.fd_error_rate = 0.0;
+  opts.data_error_rate = 0.03;
+  opts.rhs_violation_share = 0.0;
+  opts.seed = 8;
+  PerturbedData dirty = Perturb(data.instance, data.planted_fds, opts);
+  for (const CellRef& c : dirty.perturbed_cells) {
+    if (data.planted_fds.fd(0).lhs.Contains(c.attr)) continue;
+    // Fallback to RHS injection is allowed when LHS pairs run dry; at this
+    // small rate we expect LHS cells predominantly.
+  }
+  // At least one LHS-attribute perturbation occurred.
+  bool any_lhs = false;
+  for (const CellRef& c : dirty.perturbed_cells) {
+    any_lhs |= data.planted_fds.fd(0).lhs.Contains(c.attr);
+  }
+  EXPECT_TRUE(any_lhs);
+}
+
+TEST(Perturb, DeterministicGivenSeed) {
+  GeneratedData data = Clean(8);
+  PerturbOptions opts;
+  opts.fd_error_rate = 0.4;
+  opts.data_error_rate = 0.03;
+  opts.seed = 11;
+  PerturbedData a = Perturb(data.instance, data.planted_fds, opts);
+  PerturbedData b = Perturb(data.instance, data.planted_fds, opts);
+  EXPECT_EQ(a.data.DistdTo(b.data), 0);
+  EXPECT_TRUE(a.fds == b.fds);
+  EXPECT_EQ(a.perturbed_cells.size(), b.perturbed_cells.size());
+}
+
+TEST(Perturb, NoFdsMeansNoDataErrors) {
+  GeneratedData data = Clean(9);
+  PerturbOptions opts;
+  opts.data_error_rate = 0.1;
+  opts.seed = 12;
+  PerturbedData dirty = Perturb(data.instance, FDSet(), opts);
+  EXPECT_TRUE(dirty.perturbed_cells.empty());
+  EXPECT_EQ(data.instance.DistdTo(dirty.data), 0);
+}
+
+}  // namespace
+}  // namespace retrust

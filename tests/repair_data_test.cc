@@ -1,0 +1,180 @@
+#include "src/repair/repair_data.h"
+
+#include <gtest/gtest.h>
+
+#include "src/eval/generator.h"
+#include "src/eval/perturb.h"
+#include "src/fd/conflict_graph.h"
+#include "src/fd/violation.h"
+#include "src/graph/vertex_cover.h"
+
+namespace retrust {
+namespace {
+
+Instance Fig6() {
+  // Figure 6's instance (same as Figure 2).
+  Instance inst(Schema::FromNames({"A", "B", "C", "D"}));
+  auto add = [&](const char* a, const char* b, const char* c,
+                 const char* d) {
+    inst.AddTuple({Value(a), Value(b), Value(c), Value(d)});
+  };
+  add("1", "1", "1", "1");
+  add("1", "2", "1", "3");
+  add("2", "2", "1", "1");
+  add("2", "3", "4", "3");
+  return inst;
+}
+
+TEST(RepairData, OutputSatisfiesSigmaPrime) {
+  EncodedInstance enc(Fig6());
+  // Figure 6 repairs under Σ' = {CA->B, C->D}.
+  FDSet sigma = FDSet::Parse({"C,A->B", "C->D"}, Fig6().schema());
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    DataRepairResult r = RepairData(enc, sigma, &rng);
+    EXPECT_TRUE(Satisfies(r.repaired, sigma)) << "seed " << seed;
+    EXPECT_LE(static_cast<int64_t>(r.changed_cells.size()),
+              r.change_bound);
+  }
+}
+
+TEST(RepairData, NoChangesWhenAlreadyConsistent) {
+  EncodedInstance enc(Fig6());
+  FDSet sigma = FDSet::Parse({"A,B->C"}, Fig6().schema());
+  Rng rng(1);
+  DataRepairResult r = RepairData(enc, sigma, &rng);
+  EXPECT_TRUE(r.changed_cells.empty());
+  EXPECT_EQ(r.cover_size, 0);
+  EXPECT_EQ(enc.DistdTo(r.repaired), 0);
+}
+
+TEST(RepairData, OnlyCoverTuplesChange) {
+  EncodedInstance enc(Fig6());
+  FDSet sigma = FDSet::Parse({"A->B", "C->D"}, Fig6().schema());
+  ConflictGraph cg = BuildConflictGraph(enc, sigma);
+  auto cover = GreedyVertexCover(cg.graph);
+  std::vector<char> in_cover(enc.NumTuples(), 0);
+  for (int32_t t : cover) in_cover[t] = 1;
+  Rng rng(3);
+  DataRepairResult r = RepairData(enc, sigma, &rng);
+  for (const CellRef& c : r.changed_cells) {
+    EXPECT_TRUE(in_cover[c.tuple])
+        << "changed non-cover tuple t" << c.tuple;
+  }
+}
+
+TEST(RepairData, GroundedRepairStillSatisfies) {
+  // V-instance semantics: instantiating the variables with fresh values
+  // must preserve satisfaction.
+  EncodedInstance enc(Fig6());
+  FDSet sigma = FDSet::Parse({"A->B", "C->D"}, Fig6().schema());
+  Rng rng(7);
+  DataRepairResult r = RepairData(enc, sigma, &rng);
+  Instance grounded = r.repaired.Decode().Ground();
+  EncodedInstance genc(grounded);
+  EXPECT_TRUE(Satisfies(genc, sigma));
+}
+
+TEST(RepairData, PerTupleChangesBoundedByAlpha) {
+  EncodedInstance enc(Fig6());
+  FDSet sigma = FDSet::Parse({"A->B", "C->D"}, Fig6().schema());
+  int64_t per_tuple = std::min<int64_t>(enc.NumAttrs() - 1, sigma.size());
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    DataRepairResult r = RepairData(enc, sigma, &rng);
+    std::vector<int> changes_per_tuple(enc.NumTuples(), 0);
+    for (const CellRef& c : r.changed_cells) ++changes_per_tuple[c.tuple];
+    for (int c : changes_per_tuple) {
+      EXPECT_LE(c, per_tuple) << "seed " << seed;
+    }
+  }
+}
+
+TEST(FindAssignment, ForcesRhsFromCleanWitness) {
+  // Clean tuple (1, x); repairing t1 = (1, y) with A fixed forces B = x.
+  Instance inst(Schema::FromNames({"A", "B"}));
+  inst.AddTuple({Value("1"), Value("x")});
+  inst.AddTuple({Value("1"), Value("y")});
+  EncodedInstance enc(inst);
+  FDSet sigma = FDSet::Parse({"A->B"}, inst.schema());
+  internal::CleanIndex clean(enc, sigma);
+  clean.Insert(enc, 0);
+  auto tc = internal::FindAssignment(&enc, 1, AttrSet{0}, sigma, clean);
+  ASSERT_TRUE(tc.has_value());
+  EXPECT_EQ((*tc)[0], enc.At(1, 0));
+  EXPECT_EQ((*tc)[1], enc.At(0, 1));  // forced to the witness's B
+}
+
+TEST(FindAssignment, FailsWhenForcedValueConflictsWithFixed) {
+  Instance inst(Schema::FromNames({"A", "B"}));
+  inst.AddTuple({Value("1"), Value("x")});
+  inst.AddTuple({Value("1"), Value("y")});
+  EncodedInstance enc(inst);
+  FDSet sigma = FDSet::Parse({"A->B"}, inst.schema());
+  internal::CleanIndex clean(enc, sigma);
+  clean.Insert(enc, 0);
+  // Both cells fixed: B is pinned to y but the clean witness forces x.
+  auto tc = internal::FindAssignment(&enc, 1, AttrSet{0, 1}, sigma, clean);
+  EXPECT_FALSE(tc.has_value());
+}
+
+TEST(FindAssignment, FreshVariablesAvoidSpuriousMatches) {
+  Instance inst(Schema::FromNames({"A", "B"}));
+  inst.AddTuple({Value("1"), Value("x")});
+  inst.AddTuple({Value("2"), Value("y")});
+  EncodedInstance enc(inst);
+  FDSet sigma = FDSet::Parse({"A->B"}, inst.schema());
+  internal::CleanIndex clean(enc, sigma);
+  clean.Insert(enc, 0);
+  // Only B fixed: A becomes a fresh variable that matches no clean key.
+  auto tc = internal::FindAssignment(&enc, 1, AttrSet{1}, sigma, clean);
+  ASSERT_TRUE(tc.has_value());
+  EXPECT_TRUE(IsVariableCode((*tc)[0]));
+  EXPECT_EQ((*tc)[1], enc.At(1, 1));
+}
+
+TEST(FindAssignment, ChasesTransitiveFds) {
+  // Σ' = {A->B, B->C}; fixing A forces B, which forces C.
+  Instance inst(Schema::FromNames({"A", "B", "C"}));
+  inst.AddTuple({Value("1"), Value("b"), Value("c")});
+  inst.AddTuple({Value("1"), Value("z"), Value("w")});
+  EncodedInstance enc(inst);
+  FDSet sigma = FDSet::Parse({"A->B", "B->C"}, inst.schema());
+  internal::CleanIndex clean(enc, sigma);
+  clean.Insert(enc, 0);
+  auto tc = internal::FindAssignment(&enc, 1, AttrSet{0}, sigma, clean);
+  ASSERT_TRUE(tc.has_value());
+  EXPECT_EQ((*tc)[1], enc.At(0, 1));
+  EXPECT_EQ((*tc)[2], enc.At(0, 2));
+}
+
+// Property sweep: on perturbed census workloads, the repair always
+// satisfies Σ' and respects the Theorem 3 change bound.
+class RepairDataProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RepairDataProperty, SatisfiesAndBounded) {
+  CensusConfig cfg;
+  cfg.num_tuples = 300;
+  cfg.num_attrs = 8;
+  cfg.planted_lhs_sizes = {3};
+  cfg.seed = static_cast<uint64_t>(GetParam()) * 13 + 1;
+  GeneratedData data = GenerateCensusLike(cfg);
+  PerturbOptions popts;
+  popts.fd_error_rate = 0.34;
+  popts.data_error_rate = 0.03;
+  popts.seed = static_cast<uint64_t>(GetParam()) * 7 + 2;
+  PerturbedData dirty = Perturb(data.instance, data.planted_fds, popts);
+  EncodedInstance enc(dirty.data);
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  DataRepairResult r = RepairData(enc, dirty.fds, &rng);
+  EXPECT_TRUE(Satisfies(r.repaired, dirty.fds));
+  EXPECT_LE(static_cast<int64_t>(r.changed_cells.size()), r.change_bound);
+  // Cells not reported as changed are truly unchanged.
+  int diff = enc.DistdTo(r.repaired);
+  EXPECT_EQ(diff, static_cast<int>(r.changed_cells.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairDataProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace retrust

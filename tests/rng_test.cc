@@ -1,0 +1,91 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace retrust {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint(1000), b.NextUint(1000));
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint(1000000) == b.NextUint(1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextUintInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextUint(17), 17u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextUint(1), 0u);
+}
+
+TEST(Rng, NextIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolRespectsProbability) {
+  Rng rng(11);
+  int yes = 0;
+  for (int i = 0; i < 10000; ++i) yes += rng.NextBool(0.2);
+  EXPECT_NEAR(yes / 10000.0, 0.2, 0.03);
+  EXPECT_FALSE(Rng(1).NextBool(0.0));
+  EXPECT_TRUE(Rng(1).NextBool(1.0));
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.NextZipf(10, 1.0)];
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), 20000);
+  EXPECT_EQ(Rng(1).NextZipf(1, 1.0), 0u);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v(20);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);  // same multiset
+  EXPECT_NE(v, orig);       // overwhelmingly likely
+}
+
+TEST(Rng, PickIndexWithinBounds) {
+  Rng rng(19);
+  std::vector<int> v(5);
+  for (int i = 0; i < 200; ++i) EXPECT_LT(rng.PickIndex(v), v.size());
+}
+
+}  // namespace
+}  // namespace retrust

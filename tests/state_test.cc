@@ -1,0 +1,83 @@
+#include "src/repair/state.h"
+
+#include <gtest/gtest.h>
+
+namespace retrust {
+namespace {
+
+Schema Abcde() { return Schema::FromNames({"A", "B", "C", "D", "E"}); }
+
+TEST(SearchState, RootIsEmpty) {
+  SearchState root = SearchState::Root(3);
+  EXPECT_TRUE(root.IsRoot());
+  EXPECT_EQ(root.ext.size(), 3u);
+  EXPECT_TRUE(root.UnionExt().Empty());
+  EXPECT_EQ(root.TotalAppended(), 0);
+}
+
+TEST(SearchState, UnionAndCount) {
+  SearchState s({AttrSet{1, 2}, AttrSet{2, 4}});
+  EXPECT_FALSE(s.IsRoot());
+  EXPECT_EQ(s.UnionExt(), (AttrSet{1, 2, 4}));
+  EXPECT_EQ(s.TotalAppended(), 4);
+}
+
+TEST(SearchState, ExtendsPartialOrder) {
+  SearchState a({AttrSet{1}, AttrSet()});
+  SearchState b({AttrSet{1, 2}, AttrSet()});
+  SearchState c({AttrSet{1}, AttrSet{3}});
+  EXPECT_TRUE(b.Extends(a));
+  EXPECT_TRUE(c.Extends(a));
+  EXPECT_FALSE(a.Extends(b));
+  EXPECT_FALSE(b.Extends(c));
+  EXPECT_TRUE(a.Extends(a));
+  EXPECT_TRUE(a.Extends(SearchState::Root(2)));
+}
+
+TEST(SearchState, CostViaWeights) {
+  CardinalityWeight w;
+  SearchState s({AttrSet{1, 2}, AttrSet{4}});
+  EXPECT_EQ(s.Cost(w), 3.0);
+  EXPECT_EQ(SearchState::Root(2).Cost(w), 0.0);
+}
+
+TEST(SearchState, ApplyExtendsSigma) {
+  FDSet sigma = FDSet::Parse({"A->B", "C->D"}, Abcde());
+  SearchState s({AttrSet{2}, AttrSet{0}});
+  FDSet ext = s.Apply(sigma);
+  EXPECT_EQ(ext.fd(0).lhs, (AttrSet{0, 2}));
+  EXPECT_EQ(ext.fd(1).lhs, (AttrSet{0, 2}));
+}
+
+TEST(SearchState, EqualityAndHash) {
+  SearchState a({AttrSet{1}, AttrSet{2}});
+  SearchState b({AttrSet{1}, AttrSet{2}});
+  SearchState c({AttrSet{2}, AttrSet{1}});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  SearchStateHash h;
+  EXPECT_EQ(h(a), h(b));
+  EXPECT_NE(h(a), h(c));  // overwhelmingly likely
+}
+
+TEST(SearchState, ToString) {
+  SearchState s({AttrSet{0}, AttrSet()});
+  EXPECT_EQ(s.ToString(), "({0}, φ)");
+  EXPECT_EQ(s.ToString(Abcde()), "({A}, φ)");
+}
+
+TEST(SearchStats, Accumulate) {
+  SearchStats a, b;
+  a.states_visited = 3;
+  a.seconds = 1.5;
+  b.states_visited = 4;
+  b.heuristic_calls = 7;
+  b.seconds = 0.5;
+  a.Accumulate(b);
+  EXPECT_EQ(a.states_visited, 7);
+  EXPECT_EQ(a.heuristic_calls, 7);
+  EXPECT_DOUBLE_EQ(a.seconds, 2.0);
+}
+
+}  // namespace
+}  // namespace retrust

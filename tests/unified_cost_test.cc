@@ -1,0 +1,111 @@
+#include "src/repair/unified_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "src/eval/generator.h"
+#include "src/eval/perturb.h"
+#include "src/fd/violation.h"
+
+namespace retrust {
+namespace {
+
+TEST(UnifiedCost, AlwaysReturnsConsistentRepair) {
+  CensusConfig cfg;
+  cfg.num_tuples = 300;
+  cfg.num_attrs = 9;
+  cfg.planted_lhs_sizes = {4};
+  cfg.seed = 61;
+  GeneratedData data = GenerateCensusLike(cfg);
+  PerturbOptions popts;
+  popts.fd_error_rate = 0.5;
+  popts.data_error_rate = 0.02;
+  popts.seed = 8;
+  PerturbedData dirty = Perturb(data.instance, data.planted_fds, popts);
+  EncodedInstance enc(dirty.data);
+  DistinctCountWeight w(enc);
+  Repair repair = UnifiedCostRepair(dirty.fds, enc, w);
+  EXPECT_TRUE(Satisfies(repair.data, repair.sigma_prime));
+  // Σ' is a positional relaxation of Σd.
+  EXPECT_NO_THROW(dirty.fds.ExtensionsTo(repair.sigma_prime));
+}
+
+TEST(UnifiedCost, HighLambdaForbidsFdChanges) {
+  CensusConfig cfg;
+  cfg.num_tuples = 300;
+  cfg.num_attrs = 9;
+  cfg.planted_lhs_sizes = {4};
+  cfg.seed = 62;
+  GeneratedData data = GenerateCensusLike(cfg);
+  PerturbOptions popts;
+  popts.fd_error_rate = 0.5;
+  popts.data_error_rate = 0.0;
+  popts.seed = 9;
+  PerturbedData dirty = Perturb(data.instance, data.planted_fds, popts);
+  EncodedInstance enc(dirty.data);
+  DistinctCountWeight w(enc);
+  UnifiedCostOptions opts;
+  opts.lambda = 1e9;  // FD changes prohibitively expensive
+  Repair repair = UnifiedCostRepair(dirty.fds, enc, w, opts);
+  for (AttrSet y : repair.extensions) EXPECT_TRUE(y.Empty());
+  EXPECT_EQ(repair.distc, 0.0);
+  EXPECT_TRUE(Satisfies(repair.data, repair.sigma_prime));
+}
+
+TEST(UnifiedCost, TinyLambdaPrefersFdChanges) {
+  // With near-free FD changes and violations that extensions CAN resolve,
+  // the climber should relax rather than edit data.
+  Instance inst(Schema::FromNames({"A", "B", "C"}));
+  inst.AddTuple({Value("1"), Value("1"), Value("x")});
+  inst.AddTuple({Value("1"), Value("2"), Value("y")});
+  inst.AddTuple({Value("1"), Value("2"), Value("z")});
+  EncodedInstance enc(inst);
+  FDSet sigma = FDSet::Parse({"A->B"}, inst.schema());
+  CardinalityWeight w;
+  UnifiedCostOptions opts;
+  opts.lambda = 1e-6;
+  Repair repair = UnifiedCostRepair(sigma, enc, w, opts);
+  EXPECT_FALSE(repair.extensions[0].Empty());
+  EXPECT_TRUE(repair.changed_cells.empty());
+}
+
+TEST(UnifiedCost, SingleAttrRestrictionRespected) {
+  CensusConfig cfg;
+  cfg.num_tuples = 300;
+  cfg.num_attrs = 9;
+  cfg.planted_lhs_sizes = {4};
+  cfg.seed = 63;
+  GeneratedData data = GenerateCensusLike(cfg);
+  PerturbOptions popts;
+  popts.fd_error_rate = 0.5;
+  popts.data_error_rate = 0.0;
+  popts.seed = 10;
+  PerturbedData dirty = Perturb(data.instance, data.planted_fds, popts);
+  EncodedInstance enc(dirty.data);
+  DistinctCountWeight w(enc);
+  UnifiedCostOptions opts;
+  opts.lambda = 0.01;
+  opts.single_attr_per_fd = true;
+  Repair repair = UnifiedCostRepair(dirty.fds, enc, w, opts);
+  for (AttrSet y : repair.extensions) EXPECT_LE(y.Count(), 1);
+
+  opts.single_attr_per_fd = false;
+  Repair multi = UnifiedCostRepair(dirty.fds, enc, w, opts);
+  // The unconstrained space can only do at least as well on the score.
+  EXPECT_LE(multi.delta_p + opts.lambda * multi.distc,
+            repair.delta_p + opts.lambda * repair.distc + 1e-9);
+}
+
+TEST(UnifiedCost, CleanInputUntouched) {
+  Instance inst(Schema::FromNames({"A", "B"}));
+  inst.AddTuple({Value("1"), Value("x")});
+  inst.AddTuple({Value("2"), Value("y")});
+  EncodedInstance enc(inst);
+  FDSet sigma = FDSet::Parse({"A->B"}, inst.schema());
+  CardinalityWeight w;
+  Repair repair = UnifiedCostRepair(sigma, enc, w);
+  EXPECT_TRUE(repair.changed_cells.empty());
+  EXPECT_EQ(repair.distc, 0.0);
+}
+
+}  // namespace
+}  // namespace retrust

@@ -1,0 +1,104 @@
+#include "src/fd/violation.h"
+
+#include <gtest/gtest.h>
+
+namespace retrust {
+namespace {
+
+// Figure 2's instance: A B C D over 4 tuples.
+Instance Fig2() {
+  Instance inst(Schema::FromNames({"A", "B", "C", "D"}));
+  auto add = [&](const char* a, const char* b, const char* c,
+                 const char* d) {
+    inst.AddTuple({Value(a), Value(b), Value(c), Value(d)});
+  };
+  add("1", "1", "1", "1");
+  add("1", "2", "1", "3");
+  add("2", "2", "1", "1");
+  add("2", "3", "4", "3");
+  return inst;
+}
+
+TEST(Violation, SatisfiesSingleFd) {
+  EncodedInstance enc(Fig2());
+  Schema s = Fig2().schema();
+  EXPECT_FALSE(Satisfies(enc, FD::Parse("A->B", s)));
+  EXPECT_FALSE(Satisfies(enc, FD::Parse("C->D", s)));
+  EXPECT_TRUE(Satisfies(enc, FD::Parse("A,D->B", s)));
+  EXPECT_TRUE(Satisfies(enc, FD::Parse("A,B->C", s)));
+}
+
+TEST(Violation, TrivialFdAlwaysSatisfied) {
+  EncodedInstance enc(Fig2());
+  EXPECT_TRUE(Satisfies(enc, FD(AttrSet{0, 1}, 0)));
+}
+
+TEST(Violation, EmptyLhsMeansConstantAttribute) {
+  Instance inst(Schema::FromNames({"A", "B"}));
+  inst.AddTuple({Value("1"), Value("x")});
+  inst.AddTuple({Value("2"), Value("x")});
+  EncodedInstance enc(inst);
+  EXPECT_TRUE(Satisfies(enc, FD(AttrSet(), 1)));   // B constant
+  EXPECT_FALSE(Satisfies(enc, FD(AttrSet(), 0)));  // A not constant
+}
+
+TEST(Violation, SatisfiesFdSet) {
+  EncodedInstance enc(Fig2());
+  Schema s = Fig2().schema();
+  EXPECT_FALSE(Satisfies(enc, FDSet::Parse({"A,B->C", "A->B"}, s)));
+  EXPECT_TRUE(Satisfies(enc, FDSet::Parse({"A,B->C", "A,D->B"}, s)));
+  EXPECT_TRUE(Satisfies(enc, FDSet()));
+}
+
+TEST(Violation, ViolatingPairsMatchFig2) {
+  EncodedInstance enc(Fig2());
+  Schema s = Fig2().schema();
+  // A->B is violated by (t1,t2) and (t3,t4): indices (0,1) and (2,3).
+  EXPECT_EQ(ViolatingPairs(enc, FD::Parse("A->B", s)),
+            (std::vector<Edge>{{0, 1}, {2, 3}}));
+  // C->D is violated by (t1,t2), (t2,t3): indices (0,1), (1,2).
+  EXPECT_EQ(ViolatingPairs(enc, FD::Parse("C->D", s)),
+            (std::vector<Edge>{{0, 1}, {1, 2}}));
+  EXPECT_TRUE(ViolatingPairs(enc, FD::Parse("A,D->B", s)).empty());
+}
+
+TEST(Violation, VariablesNeverMatchConstantsInLhs) {
+  Instance inst(Schema::FromNames({"A", "B"}));
+  inst.AddTuple({Value("1"), Value("x")});
+  inst.AddTuple({inst.NewVariable(0), Value("y")});
+  EncodedInstance enc(inst);
+  // The variable A-value matches nothing, so A->B holds.
+  EXPECT_TRUE(Satisfies(enc, FD(AttrSet{0}, 1)));
+}
+
+TEST(Violation, SharedVariableMatchesItself) {
+  Instance inst(Schema::FromNames({"A", "B"}));
+  Value v = inst.NewVariable(0);
+  inst.AddTuple({v, Value("x")});
+  inst.AddTuple({v, Value("y")});
+  EncodedInstance enc(inst);
+  // Both tuples hold the SAME variable: they agree on A, differ on B.
+  EXPECT_FALSE(Satisfies(enc, FD(AttrSet{0}, 1)));
+}
+
+TEST(Violation, VariableRhsCountsAsDifferent) {
+  Instance inst(Schema::FromNames({"A", "B"}));
+  inst.AddTuple({Value("1"), Value("x")});
+  inst.AddTuple({Value("1"), inst.NewVariable(1)});
+  EncodedInstance enc(inst);
+  // Same LHS, RHS variable != constant: violation.
+  EXPECT_FALSE(Satisfies(enc, FD(AttrSet{0}, 1)));
+}
+
+TEST(Violation, CountViolatingTuples) {
+  EncodedInstance enc(Fig2());
+  Schema s = Fig2().schema();
+  // A->B involves t1,t2,t3,t4; C->D involves t1,t2,t3.
+  EXPECT_EQ(CountViolatingTuples(enc, FDSet::Parse({"A->B"}, s)), 4);
+  EXPECT_EQ(CountViolatingTuples(enc, FDSet::Parse({"C->D"}, s)), 3);
+  EXPECT_EQ(CountViolatingTuples(enc, FDSet::Parse({"A->B", "C->D"}, s)), 4);
+  EXPECT_EQ(CountViolatingTuples(enc, FDSet::Parse({"A,D->B"}, s)), 0);
+}
+
+}  // namespace
+}  // namespace retrust

@@ -1,0 +1,93 @@
+#include "src/repair/weights.h"
+
+#include <gtest/gtest.h>
+
+namespace retrust {
+namespace {
+
+Instance Sample() {
+  Instance inst(Schema::FromNames({"A", "B", "C"}));
+  auto add = [&](const char* a, const char* b, const char* c) {
+    inst.AddTuple({Value(a), Value(b), Value(c)});
+  };
+  add("1", "1", "1");
+  add("1", "2", "1");
+  add("2", "2", "1");
+  add("2", "2", "2");
+  return inst;
+}
+
+TEST(CardinalityWeight, CountsAttributes) {
+  CardinalityWeight w;
+  EXPECT_EQ(w.Weight(AttrSet()), 0);
+  EXPECT_EQ(w.Weight(AttrSet{3}), 1);
+  EXPECT_EQ(w.Weight(AttrSet{0, 5, 9}), 3);
+}
+
+TEST(DistinctCountWeight, MatchesProjectionCounts) {
+  EncodedInstance enc(Sample());
+  DistinctCountWeight w(enc);
+  EXPECT_EQ(w.Weight(AttrSet()), 0.0);  // required: w(empty) = 0
+  EXPECT_EQ(w.Weight(AttrSet{0}), 2.0);
+  EXPECT_EQ(w.Weight(AttrSet{1}), 2.0);
+  EXPECT_EQ(w.Weight(AttrSet{0, 1}), 3.0);
+  EXPECT_EQ(w.Weight(AttrSet{0, 1, 2}), 4.0);
+  // Memoized second read.
+  EXPECT_EQ(w.Weight(AttrSet{0, 1}), 3.0);
+}
+
+TEST(EntropyWeight, BasicProperties) {
+  EncodedInstance enc(Sample());
+  EntropyWeight w(enc);
+  EXPECT_EQ(w.Weight(AttrSet()), 0.0);
+  // A splits 2-2: H = 1 bit.
+  EXPECT_NEAR(w.Weight(AttrSet{0}), 1.0, 1e-9);
+  // C splits 3-1: H = 0.811 bits.
+  EXPECT_NEAR(w.Weight(AttrSet{2}), 0.8112781, 1e-6);
+}
+
+// Monotonicity property (required by the paper for all weights): adding an
+// attribute never lowers the weight.
+class WeightMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightMonotonicity, AllWeightsMonotone) {
+  EncodedInstance enc(Sample());
+  DistinctCountWeight dc(enc);
+  EntropyWeight ent(enc);
+  CardinalityWeight card;
+  const WeightFunction* fns[] = {&dc, &ent, &card};
+  uint64_t bits = static_cast<uint64_t>(GetParam());
+  AttrSet y(bits & 0x7);
+  for (const WeightFunction* w : fns) {
+    EXPECT_GE(w->Weight(y), 0.0);
+    for (AttrId a = 0; a < 3; ++a) {
+      AttrSet bigger = y;
+      bigger.Add(a);
+      EXPECT_GE(w->Weight(bigger), w->Weight(y));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSubsets, WeightMonotonicity,
+                         ::testing::Range(0, 8));
+
+TEST(WeightFunction, CostSumsExtensions) {
+  EncodedInstance enc(Sample());
+  DistinctCountWeight w(enc);
+  EXPECT_EQ(w.Cost({AttrSet{0}, AttrSet{1}}), 4.0);
+  EXPECT_EQ(w.Cost({AttrSet(), AttrSet()}), 0.0);
+  EXPECT_EQ(w.Cost({}), 0.0);
+}
+
+TEST(DistinctCountWeight, VariablesCountAsDistinct) {
+  Instance inst(Schema::FromNames({"A"}));
+  inst.AddTuple({inst.NewVariable(0)});
+  inst.AddTuple({inst.NewVariable(0)});
+  inst.AddTuple({Value("x")});
+  EncodedInstance enc(inst);
+  DistinctCountWeight w(enc);
+  EXPECT_EQ(w.Weight(AttrSet{0}), 3.0);
+}
+
+}  // namespace
+}  // namespace retrust
