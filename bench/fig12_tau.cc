@@ -5,6 +5,7 @@
 
 #include "bench/bench_common.h"
 #include "src/eval/experiment.h"
+#include "src/exec/sweep.h"
 #include "src/util/timer.h"
 
 using namespace retrust;
@@ -64,5 +65,25 @@ int main() {
   std::printf("\nExpected shape: A* far cheaper than best-first at small "
               "tau_r; the gap narrows as tau_r grows (goal states get "
               "shallow for both).\n");
+
+  // The same τr grid as one exec::Sweep over the shared context: all grid
+  // points run concurrently (RETRUST_THREADS, default = hardware).
+  exec::Options eopts;
+  eopts.num_threads = 0;
+  if (const char* env = std::getenv("RETRUST_THREADS")) {
+    eopts.num_threads = std::atoi(env);
+  }
+  std::vector<int64_t> taus = exec::TauGridFromRelative(
+      {0.05, 0.10, 0.17, 0.25, 0.40, 0.55, 0.75, 0.99}, data.root_delta_p);
+  exec::Sweep sweep(*data.context, *data.encoded, eopts);
+  Timer sweep_timer;
+  std::vector<ModifyFdsResult> swept = sweep.RunSearches(taus);
+  double sweep_seconds = sweep_timer.ElapsedSeconds();
+  double serial_seconds = 0.0;
+  for (const ModifyFdsResult& r : swept) serial_seconds += r.stats.seconds;
+  std::printf("\ntau-sweep API: %zu grid points in %.3fs wall at %d threads "
+              "(sum of per-search times: %.3fs)\n",
+              swept.size(), sweep_seconds, eopts.ResolvedThreads(),
+              serial_seconds);
   return 0;
 }

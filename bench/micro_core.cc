@@ -1,10 +1,12 @@
 // Google-benchmark micro suite for the hot kernels: encoding, conflict
-// graph construction, vertex cover, difference-set indexing, heuristic
-// evaluation, and the data-repair pass.
+// graph construction (serial and sharded), vertex cover, difference-set
+// indexing, heuristic evaluation, the data-repair pass, and the τ-sweep
+// scheduler.
 
 #include <benchmark/benchmark.h>
 
 #include "src/eval/experiment.h"
+#include "src/exec/sweep.h"
 
 using namespace retrust;
 
@@ -67,6 +69,38 @@ void BM_DiffSetIndex(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DiffSetIndex)->Arg(1000)->Arg(4000);
+
+// Sharded violation detection (conflict graph + index) vs thread count;
+// threads=1 exercises the serial fast path of the same entry points.
+void BM_ViolationDetectionSharded(benchmark::State& state) {
+  ExperimentData& d = SharedData(4000);
+  std::unique_ptr<exec::ThreadPool> pool =
+      exec::MakePool({static_cast<int>(state.range(0))});
+  for (auto _ : state) {
+    ConflictGraph cg = BuildConflictGraph((*d.encoded), d.dirty.fds,
+                                          pool.get());
+    DifferenceSetIndex idx((*d.encoded), cg, pool.get());
+    benchmark::DoNotOptimize(idx.size());
+  }
+}
+BENCHMARK(BM_ViolationDetectionSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// τ-sweep over a shared context: 8 grid points per iteration, at 1..8
+// sweep threads.
+void BM_TauSweep(benchmark::State& state) {
+  ExperimentData& d = SharedData(1000);
+  std::vector<int64_t> taus = exec::TauGridFromRelative(
+      {0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.9}, d.root_delta_p);
+  exec::Sweep sweep(*d.context, *d.encoded,
+                    {static_cast<int>(state.range(0))});
+  for (auto _ : state) {
+    auto results = sweep.RunSearches(taus);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(taus.size()));
+}
+BENCHMARK(BM_TauSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_GcHeuristicRoot(benchmark::State& state) {
   ExperimentData& d = SharedData(4000);

@@ -1,13 +1,15 @@
 // Explore the Pareto frontier of data-vs-FD repairs on a census-like
 // workload: generate clean data with planted FDs, perturb both the cells
 // and the FDs, then enumerate every distinct minimal FD repair across the
-// whole trust range (Algorithm 6) and materialize + score each one.
+// whole trust range (Algorithm 6) and materialize + score each one — the
+// materializations run concurrently through the exec::Sweep τ-sweep API.
 //
 //   build/examples/example_tradeoff_explorer
 
 #include <cstdio>
 
 #include "src/eval/experiment.h"
+#include "src/exec/sweep.h"
 #include "src/repair/multi_repair.h"
 
 using namespace retrust;
@@ -40,12 +42,25 @@ int main() {
   MultiRepairResult frontier =
       FindRepairsFds(*data.context, 0, data.root_delta_p);
 
+  // Materialize every frontier point concurrently: one sweep job per
+  // distinct FD repair, at the τ that discovered it (0 = hardware threads).
+  std::vector<exec::SweepJob> jobs;
+  jobs.reserve(frontier.repairs.size());
+  for (const RangedFdRepair& r : frontier.repairs) {
+    exec::SweepJob job;
+    job.tau = r.tau_hi;
+    jobs.push_back(job);
+  }
+  exec::Options eopts;
+  eopts.num_threads = 0;
+  exec::Sweep sweep(*data.context, *data.encoded, eopts);
+  std::vector<exec::SweepOutcome> outcomes = sweep.RunRepairs(jobs);
+
   std::printf("%-42s %10s %10s %10s %10s\n", "Sigma'", "distc", "tau range",
               "cells", "combinedF");
-  for (const RangedFdRepair& r : frontier.repairs) {
-    RepairOptions ropts;
-    auto repair = RepairDataAndFds(*data.context, (*data.encoded),
-                                   r.tau_hi, ropts);
+  for (size_t i = 0; i < frontier.repairs.size(); ++i) {
+    const RangedFdRepair& r = frontier.repairs[i];
+    const std::optional<Repair>& repair = outcomes[i].repair;
     if (!repair.has_value()) continue;
     RepairQuality q = ScoreRepair(data, *repair);
     char range[32];

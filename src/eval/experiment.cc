@@ -5,7 +5,8 @@ namespace retrust {
 ExperimentData PrepareExperiment(const CensusConfig& gen,
                                  const PerturbOptions& perturb,
                                  WeightKind weights,
-                                 const HeuristicOptions& hopts) {
+                                 const HeuristicOptions& hopts,
+                                 const exec::Options& eopts) {
   ExperimentData data;
   data.clean = GenerateCensusLike(gen);
   data.dirty = Perturb(data.clean.instance, data.clean.planted_fds, perturb);
@@ -23,7 +24,7 @@ ExperimentData PrepareExperiment(const CensusConfig& gen,
       break;
   }
   data.context = std::make_unique<FdSearchContext>(
-      data.dirty.fds, *data.encoded, *data.weights, hopts);
+      data.dirty.fds, *data.encoded, *data.weights, hopts, eopts);
   data.root_delta_p = data.context->RootDeltaP();
   return data;
 }

@@ -33,11 +33,14 @@ struct ExperimentData {
   int64_t root_delta_p = 0;     ///< δP(Σd, Id): τr = 100% maps here
 };
 
-/// Generates, perturbs, encodes, and builds the search context.
+/// Generates, perturbs, encodes, and builds the search context. `eopts`
+/// shards the conflict-graph/difference-set construction (identical output
+/// for any thread count).
 ExperimentData PrepareExperiment(const CensusConfig& gen,
                                  const PerturbOptions& perturb,
                                  WeightKind weights = WeightKind::kDistinctCount,
-                                 const HeuristicOptions& hopts = {});
+                                 const HeuristicOptions& hopts = {},
+                                 const exec::Options& eopts = {});
 
 /// Runs Algorithm 1 at relative trust τr and scores the result against the
 /// ground truth. Returns quality plus the raw repair.

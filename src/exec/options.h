@@ -1,0 +1,36 @@
+// Execution options threaded through the repair APIs.
+//
+// The exec/ subsystem is split in two dependency levels: the primitives
+// (options, ThreadPool, ParallelFor) depend on nothing but the standard
+// library and are usable from any layer (src/fd/ uses them for sharded
+// violation detection); the Sweep scheduler (sweep.h) sits above
+// src/repair/. See DESIGN.md for the determinism contract.
+
+#ifndef RETRUST_EXEC_OPTIONS_H_
+#define RETRUST_EXEC_OPTIONS_H_
+
+#include <thread>
+
+namespace retrust::exec {
+
+/// How many threads a parallel kernel may use. The contract everywhere in
+/// this codebase: results are bit-identical for ANY value of num_threads —
+/// parallelism changes wall-clock time, never output.
+struct Options {
+  /// 1 = serial (no pool is created); 0 = std::thread::hardware_concurrency.
+  int num_threads = 1;
+
+  /// The thread count after resolving 0 and clamping to >= 1.
+  int ResolvedThreads() const {
+    if (num_threads > 0) return num_threads;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+  /// True when a pool should be spun up at all.
+  bool Parallel() const { return ResolvedThreads() > 1; }
+};
+
+}  // namespace retrust::exec
+
+#endif  // RETRUST_EXEC_OPTIONS_H_

@@ -1,0 +1,45 @@
+#include "src/exec/parallel_for.h"
+
+#include <algorithm>
+
+namespace retrust::exec {
+
+ChunkPlan PlanChunks(int64_t n, const ThreadPool* pool,
+                     int chunks_per_thread) {
+  ChunkPlan plan;
+  plan.n = n;
+  if (n <= 0) return plan;  // zero chunks: body never runs
+  int threads = pool == nullptr ? 1 : pool->num_threads();
+  if (threads <= 1 || ThreadPool::OnWorkerThread()) {
+    plan.num_chunks = 1;
+    return plan;
+  }
+  if (chunks_per_thread < 1) chunks_per_thread = 1;
+  int64_t chunks = static_cast<int64_t>(threads) * chunks_per_thread;
+  plan.num_chunks = static_cast<int>(std::min<int64_t>(n, chunks));
+  return plan;
+}
+
+void ParallelFor(ThreadPool* pool, const ChunkPlan& plan,
+                 const std::function<void(int64_t, int64_t, int)>& body) {
+  if (plan.num_chunks <= 0) return;
+  if (plan.num_chunks == 1 || pool == nullptr || pool->num_threads() <= 1 ||
+      ThreadPool::OnWorkerThread()) {
+    for (int c = 0; c < plan.num_chunks; ++c) {
+      body(plan.Begin(c), plan.End(c), c);
+    }
+    return;
+  }
+  TaskGroup group(pool);
+  for (int c = 0; c < plan.num_chunks; ++c) {
+    group.Run([&body, &plan, c] { body(plan.Begin(c), plan.End(c), c); });
+  }
+  group.Wait();
+}
+
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t, int64_t, int)>& body) {
+  ParallelFor(pool, PlanChunks(n, pool), body);
+}
+
+}  // namespace retrust::exec

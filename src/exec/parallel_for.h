@@ -1,0 +1,48 @@
+// ParallelFor over index ranges with STATIC chunking.
+//
+// The chunk layout is a pure function of (n, thread count, chunks_per_thread)
+// — never of runtime timing — and every chunk knows its index, so callers
+// produce deterministic output by writing into per-chunk buffers (or by
+// index) and merging in chunk order. Which worker runs which chunk is the
+// only scheduling freedom, and it is unobservable by construction.
+
+#ifndef RETRUST_EXEC_PARALLEL_FOR_H_
+#define RETRUST_EXEC_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/exec/thread_pool.h"
+
+namespace retrust::exec {
+
+/// A static partition of [0, n) into num_chunks half-open ranges of
+/// near-equal size (difference at most one element).
+struct ChunkPlan {
+  int64_t n = 0;
+  int num_chunks = 0;
+
+  int64_t Begin(int chunk) const { return n * chunk / num_chunks; }
+  int64_t End(int chunk) const { return n * (chunk + 1) / num_chunks; }
+};
+
+/// Plans chunks for `n` items on `pool` (nullable = serial). Serial or tiny
+/// inputs get one chunk; parallel inputs get up to threads*chunks_per_thread
+/// chunks (never more than n) so skewed per-item costs still balance.
+ChunkPlan PlanChunks(int64_t n, const ThreadPool* pool,
+                     int chunks_per_thread = 4);
+
+/// Runs body(begin, end, chunk_index) for every chunk of `plan`. Blocks
+/// until all chunks finished; rethrows the exception of the lowest-index
+/// failing chunk. `pool` may be null (serial). Nested calls from inside a
+/// pool worker run inline (see ThreadPool::OnWorkerThread).
+void ParallelFor(ThreadPool* pool, const ChunkPlan& plan,
+                 const std::function<void(int64_t, int64_t, int)>& body);
+
+/// Convenience: plan + run with default chunking.
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t, int64_t, int)>& body);
+
+}  // namespace retrust::exec
+
+#endif  // RETRUST_EXEC_PARALLEL_FOR_H_

@@ -1,0 +1,54 @@
+#include "src/exec/sweep.h"
+
+#include "src/util/timer.h"
+
+namespace retrust::exec {
+
+Sweep::Sweep(const FdSearchContext& ctx, const EncodedInstance& inst,
+             Options options)
+    : ctx_(ctx), inst_(inst), options_(options), pool_(MakePool(options)) {}
+
+std::vector<SweepOutcome> Sweep::RunRepairs(
+    const std::vector<SweepJob>& jobs) const {
+  std::vector<SweepOutcome> outcomes(jobs.size());
+  TaskGroup group(pool_.get());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    group.Run([this, &jobs, &outcomes, i] {
+      const SweepJob& job = jobs[i];
+      RepairOptions opts = job.opts;
+      opts.search.exec = Options{};  // jobs are the unit of parallelism
+      Timer timer;
+      SweepOutcome& out = outcomes[i];
+      out.tau = job.tau;
+      out.repair = RepairDataAndFds(ctx_, inst_, job.tau, opts);
+      out.seconds = timer.ElapsedSeconds();
+    });
+  }
+  group.Wait();
+  return outcomes;
+}
+
+std::vector<ModifyFdsResult> Sweep::RunSearches(
+    const std::vector<int64_t>& taus, const ModifyFdsOptions& opts) const {
+  std::vector<ModifyFdsResult> results(taus.size());
+  ModifyFdsOptions job_opts = opts;
+  job_opts.exec = Options{};  // jobs are the unit of parallelism
+  TaskGroup group(pool_.get());
+  for (size_t i = 0; i < taus.size(); ++i) {
+    group.Run([this, &taus, &results, &job_opts, i] {
+      results[i] = ModifyFds(ctx_, taus[i], job_opts);
+    });
+  }
+  group.Wait();
+  return results;
+}
+
+std::vector<int64_t> TauGridFromRelative(const std::vector<double>& taus_r,
+                                         int64_t root_delta_p) {
+  std::vector<int64_t> taus;
+  taus.reserve(taus_r.size());
+  for (double tr : taus_r) taus.push_back(TauFromRelative(tr, root_delta_p));
+  return taus;
+}
+
+}  // namespace retrust::exec

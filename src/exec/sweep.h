@@ -1,0 +1,79 @@
+// The τ-sweep scheduler: run many (τ, options) repair jobs concurrently
+// over ONE shared FdSearchContext.
+//
+// The paper's experiments (Figs. 9-12) sweep the trust threshold τ and
+// re-run Algorithm 1/2 at every grid point; the context (conflict graph,
+// difference-set index, heuristic) is τ-independent and therefore shared.
+// Each job runs the SERIAL search engine on a pool worker (job-level
+// parallelism composes better than nested state-level parallelism and
+// keeps every job's result trivially deterministic); outcomes are returned
+// in job order regardless of completion order.
+//
+// This header is the top of the exec/ subsystem and depends on src/repair/;
+// the primitives it schedules on (thread_pool.h, parallel_for.h) depend on
+// nothing and are used as far down as src/fd/. See DESIGN.md.
+
+#ifndef RETRUST_EXEC_SWEEP_H_
+#define RETRUST_EXEC_SWEEP_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/exec/options.h"
+#include "src/exec/thread_pool.h"
+#include "src/repair/repair_driver.h"
+
+namespace retrust::exec {
+
+/// One job of a sweep: an end-to-end repair at trust level τ. The job's
+/// `opts.search.exec` is overridden to serial — the sweep parallelizes
+/// ACROSS jobs, never inside them.
+struct SweepJob {
+  int64_t tau = 0;
+  RepairOptions opts;
+};
+
+/// Outcome of one job, in job order.
+struct SweepOutcome {
+  int64_t tau = 0;
+  std::optional<Repair> repair;
+  double seconds = 0.0;  ///< wall-clock of this job alone
+};
+
+/// Scheduler over one shared (Σ, I) search context. The context and the
+/// instance must outlive the sweep; both are only read (the context's
+/// const interface is thread-safe by design). The worker pool is spawned
+/// once at construction and reused across Run* calls, so repeated sweeps
+/// (grid refinements, benchmark loops) pay no per-call thread churn.
+class Sweep {
+ public:
+  Sweep(const FdSearchContext& ctx, const EncodedInstance& inst,
+        Options options = {});
+
+  /// Runs Algorithm 1 (RepairDataAndFds) for every job concurrently.
+  std::vector<SweepOutcome> RunRepairs(const std::vector<SweepJob>& jobs) const;
+
+  /// Runs Algorithm 2 (ModifyFds) at every τ concurrently with shared
+  /// search options.
+  std::vector<ModifyFdsResult> RunSearches(
+      const std::vector<int64_t>& taus,
+      const ModifyFdsOptions& opts = {}) const;
+
+  const FdSearchContext& context() const { return ctx_; }
+  const Options& options() const { return options_; }
+
+ private:
+  const FdSearchContext& ctx_;
+  const EncodedInstance& inst_;
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when options are serial
+};
+
+/// Absolute τ grid from relative trust levels τr ∈ [0, 1] against a root
+/// bound (convenience for the Figure 9-12 style sweeps).
+std::vector<int64_t> TauGridFromRelative(const std::vector<double>& taus_r,
+                                         int64_t root_delta_p);
+
+}  // namespace retrust::exec
+
+#endif  // RETRUST_EXEC_SWEEP_H_

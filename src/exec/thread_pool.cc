@@ -1,0 +1,112 @@
+#include "src/exec/thread_pool.h"
+
+#include <cassert>
+#include <utility>
+
+namespace retrust::exec {
+
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(!shutdown_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker; }
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // tasks never throw: TaskGroup::Execute catches everything
+  }
+}
+
+std::unique_ptr<ThreadPool> MakePool(const Options& opts) {
+  if (!opts.Parallel()) return nullptr;
+  return std::make_unique<ThreadPool>(opts.ResolvedThreads());
+}
+
+TaskGroup::~TaskGroup() {
+  // A TaskGroup destroyed without Wait() (e.g. during unwinding after Run
+  // threw inline) must still not leave tasks running with dangling state.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::Run(std::function<void()> task) {
+  int64_t index = next_index_++;
+  if (pool_ == nullptr || pool_->num_threads() <= 1 ||
+      ThreadPool::OnWorkerThread()) {
+    Execute(task, index);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, task = std::move(task), index] {
+    Execute(task, index);
+    // Notify UNDER the lock: the waiter may destroy this TaskGroup the
+    // moment it observes pending_ == 0, so the notify must complete before
+    // the lock is released.
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_;
+    done_cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (error_ != nullptr) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    failed_index_ = -1;
+    std::rethrow_exception(e);
+  }
+}
+
+void TaskGroup::Execute(const std::function<void()>& task, int64_t index) {
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failed_index_ < 0 || index < failed_index_) {
+      failed_index_ = index;
+      error_ = std::current_exception();
+    }
+  }
+}
+
+}  // namespace retrust::exec

@@ -1,0 +1,96 @@
+// A deliberately simple execution substrate: a fixed set of workers pulling
+// from one FIFO queue, plus a TaskGroup for fork/join with deterministic
+// exception propagation. No work stealing, no task priorities — determinism
+// comes from callers assembling results by task/chunk index, never from
+// scheduling order.
+
+#ifndef RETRUST_EXEC_THREAD_POOL_H_
+#define RETRUST_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/exec/options.h"
+
+namespace retrust::exec {
+
+/// A fixed-size pool of worker threads executing submitted closures in FIFO
+/// order. Construction spawns the workers; destruction drains nothing —
+/// callers must have waited for their tasks (TaskGroup does).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Prefer TaskGroup/ParallelFor over raw Submit.
+  void Submit(std::function<void()> task);
+
+  /// True when the calling thread is one of this process's pool workers.
+  /// ParallelFor and TaskGroup use this to run nested parallel sections
+  /// inline, which makes accidental nesting safe (no deadlock) at the cost
+  /// of serializing the inner section.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Creates a pool per `opts`, or nullptr when opts resolve to serial
+/// execution. All parallel entry points accept a nullable pool and fall
+/// back to serial inline execution on nullptr.
+std::unique_ptr<ThreadPool> MakePool(const Options& opts);
+
+/// Fork/join scope: Run() tasks, then Wait() for all of them. If tasks
+/// threw, Wait rethrows the exception of the EARLIEST-submitted failing
+/// task (deterministic regardless of scheduling). Wait must be called
+/// before destruction whenever tasks were submitted.
+class TaskGroup {
+ public:
+  /// `pool` may be null; tasks then run inline in Run().
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submits one task. Runs inline when there is no pool, the pool has a
+  /// single worker, or the caller is itself a pool worker (nesting guard).
+  void Run(std::function<void()> task);
+
+  /// Blocks until every submitted task finished; rethrows the first (by
+  /// submission index) captured exception, if any.
+  void Wait();
+
+ private:
+  void Execute(const std::function<void()>& task, int64_t index);
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  int64_t pending_ = 0;
+  int64_t next_index_ = 0;
+  int64_t failed_index_ = -1;
+  std::exception_ptr error_;
+};
+
+}  // namespace retrust::exec
+
+#endif  // RETRUST_EXEC_THREAD_POOL_H_

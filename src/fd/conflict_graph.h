@@ -31,6 +31,13 @@ struct ConflictGraph {
 ConflictGraph BuildConflictGraph(const EncodedInstance& inst,
                                  const FDSet& fds);
 
+/// Sharded variant: per-FD violating-pair enumeration runs on `pool`
+/// (nullable = serial); the cross-FD mask merge and the canonical edge sort
+/// are unchanged, so the graph is BIT-IDENTICAL to the serial overload for
+/// any thread count.
+ConflictGraph BuildConflictGraph(const EncodedInstance& inst,
+                                 const FDSet& fds, exec::ThreadPool* pool);
+
 }  // namespace retrust
 
 #endif  // RETRUST_FD_CONFLICT_GRAPH_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "src/exec/parallel_for.h"
+
 namespace retrust {
 
 AttrSet DiffSetOfPair(const EncodedInstance& inst, TupleId t1, TupleId t2) {
@@ -14,14 +16,33 @@ AttrSet DiffSetOfPair(const EncodedInstance& inst, TupleId t1, TupleId t2) {
 }
 
 DifferenceSetIndex::DifferenceSetIndex(const EncodedInstance& inst,
-                                       const ConflictGraph& cg) {
+                                       const ConflictGraph& cg)
+    : DifferenceSetIndex(inst, cg, nullptr) {}
+
+DifferenceSetIndex::DifferenceSetIndex(const EncodedInstance& inst,
+                                       const ConflictGraph& cg,
+                                       exec::ThreadPool* pool) {
+  const std::vector<Edge>& edges = cg.graph.edges();
+
+  // Sharded O(E·m) phase: the difference set of each edge, written by edge
+  // index (disjoint slots, trivially deterministic).
+  std::vector<AttrSet> diffs(edges.size());
+  exec::ParallelFor(pool, static_cast<int64_t>(edges.size()),
+                    [&](int64_t begin, int64_t end, int /*chunk*/) {
+                      for (int64_t i = begin; i < end; ++i) {
+                        diffs[i] = DiffSetOfPair(inst, edges[i].u, edges[i].v);
+                      }
+                    });
+
+  // Serial grouping in the graph's canonical edge order: group creation
+  // order and each group's internal edge order match the serial build
+  // exactly.
   std::unordered_map<AttrSet, int, AttrSetHash> index;
-  for (const Edge& e : cg.graph.edges()) {
-    AttrSet diff = DiffSetOfPair(inst, e.u, e.v);
+  for (size_t i = 0; i < edges.size(); ++i) {
     auto [it, inserted] =
-        index.emplace(diff, static_cast<int>(groups_.size()));
-    if (inserted) groups_.push_back({diff, {}});
-    groups_[it->second].edges.push_back(e);
+        index.emplace(diffs[i], static_cast<int>(groups_.size()));
+    if (inserted) groups_.push_back({diffs[i], {}});
+    groups_[it->second].edges.push_back(edges[i]);
   }
   std::sort(groups_.begin(), groups_.end(),
             [](const DiffSetGroup& a, const DiffSetGroup& b) {

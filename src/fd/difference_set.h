@@ -38,6 +38,13 @@ class DifferenceSetIndex {
   /// Builds the index from a conflict graph.
   DifferenceSetIndex(const EncodedInstance& inst, const ConflictGraph& cg);
 
+  /// Sharded variant: per-edge difference sets are computed on `pool`
+  /// (nullable = serial) by index, then grouped serially in the graph's
+  /// canonical edge order — the index is BIT-IDENTICAL to the serial
+  /// overload for any thread count.
+  DifferenceSetIndex(const EncodedInstance& inst, const ConflictGraph& cg,
+                     exec::ThreadPool* pool);
+
   int size() const { return static_cast<int>(groups_.size()); }
   bool empty() const { return groups_.empty(); }
   const DiffSetGroup& group(int i) const { return groups_[i]; }

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/exec/parallel_for.h"
 #include "src/util/hash.h"
 
 namespace retrust {
@@ -23,6 +24,24 @@ PartitionByLhs(const EncodedInstance& inst, const FD& fd) {
     parts[key].push_back(t);
   }
   return parts;
+}
+
+// Emits all violating pairs of one LHS class: sub-partition on the RHS
+// code, then all cross-group pairs.
+void EmitClassPairs(const EncodedInstance& inst, const FD& fd,
+                    const std::vector<TupleId>& tuples,
+                    std::vector<Edge>* out) {
+  std::unordered_map<int32_t, std::vector<TupleId>> groups;
+  for (TupleId t : tuples) groups[inst.At(t, fd.rhs)].push_back(t);
+  if (groups.size() < 2) return;
+  for (auto it = groups.begin(); it != groups.end(); ++it) {
+    auto jt = it;
+    for (++jt; jt != groups.end(); ++jt) {
+      for (TupleId u : it->second) {
+        for (TupleId v : jt->second) out->emplace_back(u, v);
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -48,25 +67,46 @@ bool Satisfies(const EncodedInstance& inst, const FDSet& fds) {
 }
 
 std::vector<Edge> ViolatingPairs(const EncodedInstance& inst, const FD& fd) {
+  return ViolatingPairs(inst, fd, nullptr);
+}
+
+std::vector<Edge> ViolatingPairs(const EncodedInstance& inst, const FD& fd,
+                                 exec::ThreadPool* pool) {
   std::vector<Edge> out;
   if (fd.IsTrivial()) return out;
   auto parts = PartitionByLhs(inst, fd);
-  for (const auto& [key, tuples] : parts) {
+
+  // Pull the candidate classes (>= 2 tuples) out of the hash map. Sort them
+  // by their smallest tuple id so the work-unit order is independent of the
+  // map's iteration order; the final edge sort makes the OUTPUT canonical
+  // either way, but a stable unit order keeps chunk contents reproducible
+  // run to run, which makes scheduling bugs observable in tests.
+  std::vector<std::vector<TupleId>> classes;
+  for (auto& [key, tuples] : parts) {
     if (tuples.size() < 2) continue;
-    // Sub-partition on the RHS code.
-    std::unordered_map<int32_t, std::vector<TupleId>> groups;
-    for (TupleId t : tuples) groups[inst.At(t, fd.rhs)].push_back(t);
-    if (groups.size() < 2) continue;
-    // Emit all cross-group pairs.
-    for (auto it = groups.begin(); it != groups.end(); ++it) {
-      auto jt = it;
-      for (++jt; jt != groups.end(); ++jt) {
-        for (TupleId u : it->second) {
-          for (TupleId v : jt->second) out.emplace_back(u, v);
-        }
-      }
-    }
+    classes.push_back(std::move(tuples));
   }
+  std::sort(classes.begin(), classes.end(),
+            [](const std::vector<TupleId>& a, const std::vector<TupleId>& b) {
+              return a.front() < b.front();
+            });
+
+  // Sharded quadratic phase: each chunk of classes emits into its own
+  // buffer; buffers are concatenated in chunk order.
+  exec::ChunkPlan plan =
+      exec::PlanChunks(static_cast<int64_t>(classes.size()), pool);
+  std::vector<std::vector<Edge>> buffers(
+      static_cast<size_t>(std::max(plan.num_chunks, 0)));
+  exec::ParallelFor(pool, plan,
+                    [&](int64_t begin, int64_t end, int chunk) {
+                      for (int64_t c = begin; c < end; ++c) {
+                        EmitClassPairs(inst, fd, classes[c], &buffers[chunk]);
+                      }
+                    });
+  size_t total = 0;
+  for (const auto& b : buffers) total += b.size();
+  out.reserve(total);
+  for (const auto& b : buffers) out.insert(out.end(), b.begin(), b.end());
   std::sort(out.begin(), out.end());
   return out;
 }

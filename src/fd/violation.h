@@ -16,6 +16,10 @@
 #include "src/graph/graph.h"
 #include "src/relational/dictionary.h"
 
+namespace retrust::exec {
+class ThreadPool;
+}  // namespace retrust::exec
+
 namespace retrust {
 
 /// True iff `inst` |= `fd`.
@@ -28,6 +32,14 @@ bool Satisfies(const EncodedInstance& inst, const FDSet& fds);
 /// quadratic in the size of a violating partition; intended for tests,
 /// examples, and conflict-graph construction on realistic workloads.
 std::vector<Edge> ViolatingPairs(const EncodedInstance& inst, const FD& fd);
+
+/// Sharded variant: the quadratic pair-emission phase is block-partitioned
+/// over the violating LHS classes and run on `pool` (nullable = serial).
+/// Per-chunk edge buffers are merged in chunk order and the result is
+/// canonically sorted, so the output is BIT-IDENTICAL to the serial
+/// overload for any thread count.
+std::vector<Edge> ViolatingPairs(const EncodedInstance& inst, const FD& fd,
+                                 exec::ThreadPool* pool);
 
 /// Number of tuples involved in at least one violation of `fds`.
 int64_t CountViolatingTuples(const EncodedInstance& inst, const FDSet& fds);

@@ -20,8 +20,17 @@ std::vector<int32_t> GreedyVertexCover(const Graph& g) {
   return cover;
 }
 
+void MatchingCoverScratch::NextEpoch() {
+  if (++epoch_ == 0) {
+    // uint32 wrap: stale marks from 2^32 calls ago would alias the fresh
+    // epoch; clear once and restart.
+    std::fill(mark_.begin(), mark_.end(), 0);
+    epoch_ = 1;
+  }
+}
+
 int32_t MatchingCoverScratch::CoverSize(const std::vector<Edge>& edges) {
-  ++epoch_;
+  NextEpoch();
   int32_t size = 0;
   for (const Edge& e : edges) {
     if (mark_[e.u] != epoch_ && mark_[e.v] != epoch_) {
@@ -35,7 +44,7 @@ int32_t MatchingCoverScratch::CoverSize(const std::vector<Edge>& edges) {
 
 int32_t MatchingCoverScratch::CoverSize(const std::vector<Edge>& a,
                                         const std::vector<Edge>& b) {
-  ++epoch_;
+  NextEpoch();
   int32_t size = 0;
   for (const std::vector<Edge>* edges : {&a, &b}) {
     for (const Edge& e : *edges) {

@@ -22,11 +22,22 @@ std::vector<int32_t> GreedyVertexCover(const Graph& g);
 
 /// Same, but over a raw edge list (the heuristic unions edge groups without
 /// materializing a Graph). `scratch` marks covered vertices; it must be
-/// sized >= max vertex id + 1 and is reset before use via the epoch trick.
+/// sized >= max vertex id + 1 (EnsureVertices) and is reset before use via
+/// the epoch trick. One instance serves one thread; the search layer keeps
+/// a thread_local instance so a shared FdSearchContext is safe to use from
+/// many threads at once (see DESIGN.md).
 class MatchingCoverScratch {
  public:
   explicit MatchingCoverScratch(int32_t num_vertices)
       : mark_(num_vertices, 0) {}
+
+  /// Grows the mark array to cover vertex ids < `num_vertices`. Never
+  /// shrinks; existing epoch marks stay valid.
+  void EnsureVertices(int32_t num_vertices) {
+    if (static_cast<size_t>(num_vertices) > mark_.size()) {
+      mark_.resize(static_cast<size_t>(num_vertices), 0);
+    }
+  }
 
   /// Size of a maximal-matching cover of `edges` (2-approx of minimum).
   int32_t CoverSize(const std::vector<Edge>& edges);
@@ -35,6 +46,8 @@ class MatchingCoverScratch {
   int32_t CoverSize(const std::vector<Edge>& a, const std::vector<Edge>& b);
 
  private:
+  void NextEpoch();
+
   std::vector<uint32_t> mark_;
   uint32_t epoch_ = 0;
 };

@@ -16,9 +16,9 @@ GcHeuristic::GcHeuristic(const FDSet& sigma, const StateSpace& space,
       space_(space),
       weights_(weights),
       index_(index),
+      num_tuples_(num_tuples),
       alpha_(0),
-      opts_(opts),
-      scratch_(num_tuples) {
+      opts_(opts) {
   // RepairAlpha needs |R|; recover it from the first FD's allowed set:
   // allowed(i) = R \ (X_i ∪ {A_i}), so |R| = |allowed| + |X_i| + 1.
   if (sigma.size() > 0) {
@@ -44,12 +44,14 @@ int32_t GcHeuristic::CoverOfGroups(const std::vector<int>& groups,
   // Concatenate edges of the groups in order; greedy matching cover.
   // (Groups are disjoint edge sets by construction.)
   static thread_local std::vector<Edge> edges;
+  static thread_local MatchingCoverScratch scratch(0);
   edges.clear();
   for (int g : groups) {
     const auto& ge = index_.group(g).edges;
     edges.insert(edges.end(), ge.begin(), ge.end());
   }
-  return scratch_.CoverSize(edges);
+  scratch.EnsureVertices(num_tuples_);
+  return scratch.CoverSize(edges);
 }
 
 void GcHeuristic::Rec(const SearchState& sc, std::vector<int>& unresolved,

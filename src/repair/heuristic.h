@@ -51,7 +51,9 @@ int64_t RepairAlpha(int num_attrs, int num_fds);
 
 /// Computes gc(S) for states of one (Σ, I) search. Holds references to the
 /// FD set, state space, weights and the difference-set index; all must
-/// outlive the heuristic.
+/// outlive the heuristic. Compute() is const AND thread-safe: per-call
+/// mutable state lives in thread_local scratch, so one heuristic instance
+/// serves concurrent searches and parallel successor evaluation.
 class GcHeuristic {
  public:
   GcHeuristic(const FDSet& sigma, const StateSpace& space,
@@ -102,9 +104,9 @@ class GcHeuristic {
   const StateSpace& space_;
   const WeightFunction& weights_;
   const DifferenceSetIndex& index_;
+  int num_tuples_;
   int64_t alpha_;
   HeuristicOptions opts_;
-  mutable MatchingCoverScratch scratch_;
 };
 
 }  // namespace retrust

@@ -2,23 +2,39 @@
 
 #include <algorithm>
 #include <queue>
+#include <unordered_map>
 
+#include "src/exec/thread_pool.h"
 #include "src/fd/conflict_graph.h"
 #include "src/util/timer.h"
 
 namespace retrust {
 
+namespace {
+
+// Builds the difference-set index with the conflict-graph construction
+// sharded on a short-lived pool (no-op pool for serial options).
+DifferenceSetIndex BuildIndexSharded(const EncodedInstance& inst,
+                                     const FDSet& sigma,
+                                     const exec::Options& eopts) {
+  std::unique_ptr<exec::ThreadPool> pool = exec::MakePool(eopts);
+  return DifferenceSetIndex(inst, BuildConflictGraph(inst, sigma, pool.get()),
+                            pool.get());
+}
+
+}  // namespace
+
 FdSearchContext::FdSearchContext(const FDSet& sigma,
                                  const EncodedInstance& inst,
                                  const WeightFunction& weights,
-                                 const HeuristicOptions& hopts)
+                                 const HeuristicOptions& hopts,
+                                 const exec::Options& eopts)
     : sigma_(sigma),
       num_tuples_(inst.NumTuples()),
       space_(sigma, inst.schema()),
-      index_(inst, BuildConflictGraph(inst, sigma)),
+      index_(BuildIndexSharded(inst, sigma, eopts)),
       weights_(weights),
-      heuristic_(sigma_, space_, weights_, index_, inst.NumTuples(), hopts),
-      scratch_(inst.NumTuples()) {}
+      heuristic_(sigma_, space_, weights_, index_, inst.NumTuples(), hopts) {}
 
 int64_t FdSearchContext::CoverSize(const SearchState& s,
                                    SearchStats* stats) const {
@@ -27,7 +43,10 @@ int64_t FdSearchContext::CoverSize(const SearchState& s,
   // violates FD i of the relaxation iff A_i ∈ d and (X_i ∪ Y_i) ∩ d = ∅ —
   // no FDSet materialization needed. Group order is the index's canonical
   // (frequency-sorted) order, used consistently by all cover computations.
+  // Scratch is thread_local: a shared context is safe to evaluate from many
+  // threads (exec::Sweep, speculative successor evaluation).
   static thread_local std::vector<Edge> edges;
+  static thread_local MatchingCoverScratch scratch(0);
   edges.clear();
   for (const DiffSetGroup& g : index_.groups()) {
     bool violated = false;
@@ -38,7 +57,8 @@ int64_t FdSearchContext::CoverSize(const SearchState& s,
     }
     if (violated) edges.insert(edges.end(), g.edges.begin(), g.edges.end());
   }
-  return scratch_.CoverSize(edges);
+  scratch.EnsureVertices(num_tuples_);
+  return scratch.CoverSize(edges);
 }
 
 int64_t FdSearchContext::DeltaP(const SearchState& s,
@@ -72,6 +92,90 @@ struct OpenEntry {
   }
 };
 
+// Speculative successor evaluator for the parallel engine.
+//
+// gc(S) and |C2opt(S)| are pure functions of (state, τ), so evaluating
+// them EARLY — at expansion time, for a popped state's LHS-extensions
+// concurrently, each child on its own worker with its own thread_local
+// MatchingCoverScratch — and handing the memoized values to the unmodified
+// lazy search loop later produces the exact serial visit order and result
+// for any thread count. Speculation trades extra evaluations (children
+// that never reach the top of the heap) for wall-clock parallelism; the
+// serial path (no pool) skips it entirely and keeps the lazy O(visited)
+// evaluation count.
+class SuccessorEvaluator {
+ public:
+  SuccessorEvaluator(const FdSearchContext& ctx, int64_t tau, bool astar,
+                     exec::ThreadPool* pool)
+      : ctx_(ctx), tau_(tau), astar_(astar), pool_(pool) {}
+
+  bool active() const { return pool_ != nullptr; }
+
+  /// Evaluates gc (A*) and δP of the flagged children concurrently and
+  /// memoizes the values. Stats of the evaluations are merged into `stats`
+  /// in child order (deterministic totals).
+  void Speculate(const std::vector<SearchState>& children,
+                 const std::vector<char>& keep, SearchStats* stats) {
+    if (!active() || children.empty()) return;
+    std::vector<Entry> results(children.size());
+    exec::TaskGroup group(pool_);
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (!keep[i]) continue;
+      const SearchState& child = children[i];
+      Entry* out = &results[i];
+      group.Run([this, &child, out] {
+        if (astar_) {
+          out->gc = ctx_.heuristic().Compute(child, tau_, &out->stats);
+          if (out->gc == GcHeuristic::kInfinity) return;  // never visited
+        }
+        out->cover = ctx_.CoverSize(child, &out->stats);
+      });
+    }
+    group.Wait();
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (!keep[i]) continue;
+      stats->Accumulate(results[i].stats);
+      results[i].stats = SearchStats{};
+      cache_.emplace(children[i], results[i]);
+    }
+  }
+
+  /// gc(s): memoized value if speculated, computed inline otherwise.
+  double Gc(const SearchState& s, SearchStats* stats) {
+    auto it = cache_.find(s);
+    if (it != cache_.end()) {
+      double gc = it->second.gc;
+      if (gc == GcHeuristic::kInfinity) cache_.erase(it);  // discarded next
+      return gc;
+    }
+    return ctx_.heuristic().Compute(s, tau_, stats);
+  }
+
+  /// |C2opt(s)|: memoized value if speculated, computed inline otherwise.
+  int64_t Cover(const SearchState& s, SearchStats* stats) {
+    auto it = cache_.find(s);
+    if (it != cache_.end() && it->second.cover >= 0) {
+      int64_t cover = it->second.cover;
+      cache_.erase(it);  // a state is visited at most once
+      return cover;
+    }
+    return ctx_.CoverSize(s, stats);
+  }
+
+ private:
+  struct Entry {
+    double gc = 0.0;
+    int64_t cover = -1;
+    SearchStats stats;
+  };
+
+  const FdSearchContext& ctx_;
+  int64_t tau_;
+  bool astar_;
+  exec::ThreadPool* pool_;
+  std::unordered_map<SearchState, Entry, SearchStateHash> cache_;
+};
+
 }  // namespace
 
 ModifyFdsResult ModifyFds(const FdSearchContext& ctx, int64_t tau,
@@ -79,8 +183,10 @@ ModifyFdsResult ModifyFds(const FdSearchContext& ctx, int64_t tau,
   Timer timer;
   ModifyFdsResult result;
   SearchStats& stats = result.stats;
-  const GcHeuristic& h = ctx.heuristic();
   const bool astar = opts.mode == SearchMode::kAStar;
+
+  std::unique_ptr<exec::ThreadPool> pool = exec::MakePool(opts.exec);
+  SuccessorEvaluator evaluator(ctx, tau, astar, pool.get());
 
   std::priority_queue<OpenEntry> pq;
   int64_t seq = 0;
@@ -95,8 +201,8 @@ ModifyFdsResult ModifyFds(const FdSearchContext& ctx, int64_t tau,
     pq.pop();
 
     if (!top.evaluated) {
-      // Deferred gc evaluation (A* only).
-      double gc = h.Compute(top.state, tau, &stats);
+      // Deferred gc evaluation (A* only); memoized when speculated.
+      double gc = evaluator.Gc(top.state, &stats);
       if (gc == GcHeuristic::kInfinity) continue;  // no goal below here
       top.priority = std::max(gc, top.cost);
       top.evaluated = true;
@@ -119,7 +225,7 @@ ModifyFdsResult ModifyFds(const FdSearchContext& ctx, int64_t tau,
       if (!can_tie && top.cost > best->distc + opts.cost_epsilon) continue;
     }
 
-    int64_t cover = ctx.CoverSize(top.state, &stats);
+    int64_t cover = evaluator.Cover(top.state, &stats);
     int64_t delta_p = ctx.alpha() * cover;
     if (delta_p <= tau) {
       // Goal state.
@@ -138,14 +244,25 @@ ModifyFdsResult ModifyFds(const FdSearchContext& ctx, int64_t tau,
       continue;  // children of a goal state only cost more
     }
 
-    // Expand: children inherit the parent's priority as a lower bound.
-    for (SearchState& child : ctx.space().Children(top.state)) {
-      double child_cost = child.Cost(ctx.weights());
-      double lower = std::max(top.priority, child_cost);
-      if (best.has_value() && lower > best->distc + opts.cost_epsilon) {
-        continue;
+    // Expand. Children inherit the parent's priority as a lower bound;
+    // the ones surviving the bound check are (optionally) evaluated
+    // speculatively in parallel before being pushed in canonical order.
+    std::vector<SearchState> children = ctx.space().Children(top.state);
+    std::vector<double> lower(children.size());
+    std::vector<double> child_cost(children.size());
+    std::vector<char> keep(children.size(), 1);
+    for (size_t i = 0; i < children.size(); ++i) {
+      child_cost[i] = children[i].Cost(ctx.weights());
+      lower[i] = std::max(top.priority, child_cost[i]);
+      if (best.has_value() && lower[i] > best->distc + opts.cost_epsilon) {
+        keep[i] = 0;
       }
-      pq.push({lower, child_cost, seq++, !astar, std::move(child)});
+    }
+    evaluator.Speculate(children, keep, &stats);
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (!keep[i]) continue;
+      pq.push({lower[i], child_cost[i], seq++, !astar,
+               std::move(children[i])});
       ++stats.states_generated;
     }
   }
@@ -158,7 +275,7 @@ ModifyFdsResult ModifyFds(const FdSearchContext& ctx, int64_t tau,
 ModifyFdsResult ModifyFds(const FDSet& sigma, const EncodedInstance& inst,
                           int64_t tau, const WeightFunction& weights,
                           const ModifyFdsOptions& opts) {
-  FdSearchContext ctx(sigma, inst, weights, opts.heuristic);
+  FdSearchContext ctx(sigma, inst, weights, opts.heuristic, opts.exec);
   return ModifyFds(ctx, tau, opts);
 }
 

@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/exec/options.h"
 #include "src/fd/difference_set.h"
 #include "src/repair/heuristic.h"
 #include "src/repair/state_space.h"
@@ -38,6 +39,17 @@ struct ModifyFdsOptions {
   double cost_epsilon = 1e-9;
   /// Safety cap on popped states (0 = unlimited).
   int64_t max_visited = 0;
+  /// Parallel successor evaluation (src/exec/). With more than one thread,
+  /// a popped state's LHS-extensions are evaluated speculatively on a
+  /// thread pool at expansion time, each child with its own cover scratch;
+  /// the search consumes the memoized values in the exact serial order, so
+  /// the REPAIR and the visit schedule (states_visited/states_generated)
+  /// are BIT-IDENTICAL for any num_threads (see DESIGN.md). The
+  /// heuristic_calls/vc_computations counters report actual work done,
+  /// which is LARGER under speculation (children that never reach the top
+  /// of the open list still get evaluated) — compare those counters across
+  /// search modes only at num_threads = 1.
+  exec::Options exec;
 };
 
 /// One FD repair: the chosen relaxation plus its measurements.
@@ -57,12 +69,17 @@ struct ModifyFdsResult {
 
 /// Precomputed, τ-independent context shared by searches over one (Σ, I):
 /// the conflict graph of Σ, its difference-set index, state space, and
-/// heuristic. Build once, run ModifyFds/FindRepairsFds many times.
+/// heuristic. Build once, run ModifyFds/FindRepairsFds many times — also
+/// concurrently: every const method is thread-safe (per-thread scratch,
+/// mutex-guarded weight memo), which is what exec::Sweep relies on.
 class FdSearchContext {
  public:
+  /// `eopts` shards the conflict-graph and difference-set construction
+  /// (identical output for any thread count).
   FdSearchContext(const FDSet& sigma, const EncodedInstance& inst,
                   const WeightFunction& weights,
-                  const HeuristicOptions& hopts = {});
+                  const HeuristicOptions& hopts = {},
+                  const exec::Options& eopts = {});
 
   const FDSet& sigma() const { return sigma_; }
   const StateSpace& space() const { return space_; }
@@ -89,7 +106,6 @@ class FdSearchContext {
   DifferenceSetIndex index_;
   const WeightFunction& weights_;
   GcHeuristic heuristic_;
-  mutable MatchingCoverScratch scratch_;
 };
 
 /// Algorithm 2: cheapest Σ' with δP(Σ', I) ≤ τ (ties broken by δP when

@@ -31,7 +31,8 @@ std::optional<Repair> RepairDataAndFds(const FDSet& sigma,
                                        int64_t tau,
                                        const WeightFunction& weights,
                                        const RepairOptions& opts) {
-  FdSearchContext ctx(sigma, inst, weights, opts.search.heuristic);
+  FdSearchContext ctx(sigma, inst, weights, opts.search.heuristic,
+                      opts.search.exec);
   return RepairDataAndFds(ctx, inst, tau, opts);
 }
 

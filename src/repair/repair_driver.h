@@ -15,7 +15,10 @@
 
 namespace retrust {
 
-/// Options for the end-to-end repair.
+/// Options for the end-to-end repair. Parallel execution is configured via
+/// `search.exec` (exec::Options{num_threads}); Algorithm 4's data-repair
+/// pass stays serial — it is linear-time and seed-driven. Results are
+/// bit-identical for any thread count (see DESIGN.md).
 struct RepairOptions {
   ModifyFdsOptions search;
   uint64_t seed = 1;  ///< drives Algorithm 4's random orders

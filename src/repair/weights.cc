@@ -15,17 +15,26 @@ double WeightFunction::Cost(const std::vector<AttrSet>& extensions) const {
 
 double DistinctCountWeight::Weight(AttrSet y) const {
   if (y.Empty()) return 0.0;
-  auto it = cache_.find(y);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(y);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock; a concurrent duplicate computation is benign
+  // (both threads insert the same value).
   double w = static_cast<double>(inst_.CountDistinctProjection(y));
+  std::lock_guard<std::mutex> lock(mu_);
   cache_.emplace(y, w);
   return w;
 }
 
 double EntropyWeight::Weight(AttrSet y) const {
   if (y.Empty()) return 0.0;
-  auto it = cache_.find(y);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(y);
+    if (it != cache_.end()) return it->second;
+  }
   // Empirical joint entropy of the Y-projection.
   std::vector<AttrId> cols = y.ToVector();
   std::unordered_map<std::vector<int32_t>, int64_t, CodeVectorHash> counts;
@@ -40,6 +49,7 @@ double EntropyWeight::Weight(AttrSet y) const {
     double p = static_cast<double>(c) / n;
     h -= p * std::log2(p);
   }
+  std::lock_guard<std::mutex> lock(mu_);
   cache_.emplace(y, h);
   return h;
 }

@@ -13,6 +13,7 @@
 #define RETRUST_REPAIR_WEIGHTS_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -39,7 +40,9 @@ class CardinalityWeight final : public WeightFunction {
 };
 
 /// w(Y) = |π_Y(I)| (number of distinct Y-projections in the initial
-/// instance), w(∅) = 0 — the paper's experimental choice. Memoized.
+/// instance), w(∅) = 0 — the paper's experimental choice. Memoized; the
+/// memo is mutex-guarded so one weight instance may serve concurrent
+/// searches (exec::Sweep, parallel successor evaluation).
 class DistinctCountWeight final : public WeightFunction {
  public:
   /// Keeps a reference to `inst`; the instance must outlive the weight.
@@ -49,6 +52,7 @@ class DistinctCountWeight final : public WeightFunction {
 
  private:
   const EncodedInstance& inst_;
+  mutable std::mutex mu_;
   mutable std::unordered_map<AttrSet, double, AttrSetHash> cache_;
 };
 
@@ -62,6 +66,7 @@ class EntropyWeight final : public WeightFunction {
 
  private:
   const EncodedInstance& inst_;
+  mutable std::mutex mu_;
   mutable std::unordered_map<AttrSet, double, AttrSetHash> cache_;
 };
 
