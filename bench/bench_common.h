@@ -34,6 +34,25 @@ inline void Banner(const char* figure, const char* what) {
               Scale());
 }
 
+/// Path of the machine-readable output BENCH_<name>.json: the current
+/// directory, or $RETRUST_BENCH_JSON_DIR when set. Every bench binary that
+/// tracks the perf trajectory (micro_core, fig12_tau) writes one.
+inline std::string BenchJsonPath(const char* name) {
+  std::string dir = ".";
+  if (const char* d = std::getenv("RETRUST_BENCH_JSON_DIR")) dir = d;
+  return dir + "/BENCH_" + name + ".json";
+}
+
+/// Opens BENCH_<name>.json for writing (nullptr on failure, with a note);
+/// callers fprintf JSON into it.
+inline FILE* OpenBenchJson(const char* name) {
+  std::string path = BenchJsonPath(name);
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::printf(f != nullptr ? "\nwriting %s\n" : "\ncannot write %s\n",
+              path.c_str());
+  return f;
+}
+
 }  // namespace retrust::bench
 
 #endif  // RETRUST_BENCH_BENCH_COMMON_H_

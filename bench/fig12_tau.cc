@@ -22,19 +22,29 @@ int main() {
   perturb.fd_error_rate = 0.5;
   perturb.data_error_rate = 0.02;
   perturb.seed = 7;
+  Timer prepare_timer;
   ExperimentData data = PrepareExperiment(gen, perturb);
+  double prepare_seconds = prepare_timer.ElapsedSeconds();
   const int64_t kBestFirstCap = 60000;
+
+  struct GridRow {
+    double tau_r = 0.0;
+    int64_t tau = 0;
+    double seconds[2] = {0.0, 0.0};  // A*, best-first
+    int64_t states[2] = {0, 0};
+    int appended = -1;  // -1 = no repair
+  };
+  std::vector<GridRow> rows;
 
   std::printf("root deltaP = %lld\n\n",
               static_cast<long long>(data.root_delta_p));
   std::printf("%8s %8s %14s %14s %14s %14s\n", "tau_r", "appended",
               "A*-time(s)", "BF-time(s)", "A*-states", "BF-states");
+  Timer grid_timer;
   for (double tr : {0.05, 0.10, 0.17, 0.25, 0.40, 0.55, 0.75, 0.99}) {
-    int64_t tau = TauFromRelative(tr, data.root_delta_p);
-    double times[2];
-    int64_t states[2];
-    int appended = -1;
-    bool found = false;
+    GridRow row;
+    row.tau_r = tr;
+    row.tau = TauFromRelative(tr, data.root_delta_p);
     const SearchMode modes[] = {SearchMode::kAStar, SearchMode::kBestFirst};
     for (int k = 0; k < 2; ++k) {
       ModifyFdsOptions opts;
@@ -42,32 +52,34 @@ int main() {
       opts.max_visited =
           (modes[k] == SearchMode::kBestFirst) ? kBestFirstCap : 0;
       Timer timer;
-      ModifyFdsResult r = ModifyFds(*data.context, tau, opts);
-      times[k] = timer.ElapsedSeconds();
-      states[k] = r.stats.states_visited;
+      ModifyFdsResult r = ModifyFds(*data.context, row.tau, opts);
+      row.seconds[k] = timer.ElapsedSeconds();
+      row.states[k] = r.stats.states_visited;
       if (k == 0 && r.repair.has_value()) {
-        found = true;
-        appended = r.repair->state.TotalAppended();
+        row.appended = r.repair->state.TotalAppended();
       }
     }
-    if (!found) {
+    if (row.appended < 0) {
       std::printf("%7.0f%% %8s %14.3f %14.3f %14lld %14lld   (no repair)\n",
-                  tr * 100, "-", times[0], times[1],
-                  static_cast<long long>(states[0]),
-                  static_cast<long long>(states[1]));
+                  tr * 100, "-", row.seconds[0], row.seconds[1],
+                  static_cast<long long>(row.states[0]),
+                  static_cast<long long>(row.states[1]));
     } else {
       std::printf("%7.0f%% %8d %14.3f %14.3f %14lld %14lld\n", tr * 100,
-                  appended, times[0], times[1],
-                  static_cast<long long>(states[0]),
-                  static_cast<long long>(states[1]));
+                  row.appended, row.seconds[0], row.seconds[1],
+                  static_cast<long long>(row.states[0]),
+                  static_cast<long long>(row.states[1]));
     }
+    rows.push_back(row);
   }
+  double grid_seconds = grid_timer.ElapsedSeconds();
   std::printf("\nExpected shape: A* far cheaper than best-first at small "
               "tau_r; the gap narrows as tau_r grows (goal states get "
               "shallow for both).\n");
 
   // The same τr grid as one exec::Sweep over the shared context: all grid
-  // points run concurrently (RETRUST_THREADS, default = hardware).
+  // points run concurrently (RETRUST_THREADS, default = hardware) and share
+  // one violation table + cover memo.
   exec::Options eopts;
   eopts.num_threads = 0;
   if (const char* env = std::getenv("RETRUST_THREADS")) {
@@ -85,5 +97,46 @@ int main() {
               "(sum of per-search times: %.3fs)\n",
               swept.size(), sweep_seconds, eopts.ResolvedThreads(),
               serial_seconds);
+
+  // Machine-readable trajectory: per-phase timings and the δP pipeline's
+  // cover-memo effectiveness over the whole run.
+  CoverMemo::Stats memo = data.context->evaluator().memo().stats();
+  if (FILE* f = bench::OpenBenchJson("fig12_tau")) {
+    std::fprintf(f, "{\n  \"bench\": \"fig12_tau\",\n");
+    std::fprintf(f, "  \"scale\": %.3f,\n", bench::Scale());
+    std::fprintf(f, "  \"root_delta_p\": %lld,\n",
+                 static_cast<long long>(data.root_delta_p));
+    std::fprintf(f,
+                 "  \"phases\": {\"prepare_seconds\": %.6f, "
+                 "\"grid_seconds\": %.6f, \"sweep_seconds\": %.6f},\n",
+                 prepare_seconds, grid_seconds, sweep_seconds);
+    std::fprintf(f, "  \"grid\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const GridRow& r = rows[i];
+      std::fprintf(f,
+                   "    {\"tau_r\": %.2f, \"tau\": %lld, \"appended\": %d, "
+                   "\"astar_seconds\": %.6f, \"bf_seconds\": %.6f, "
+                   "\"astar_states\": %lld, \"bf_states\": %lld}%s\n",
+                   r.tau_r, static_cast<long long>(r.tau), r.appended,
+                   r.seconds[0], r.seconds[1],
+                   static_cast<long long>(r.states[0]),
+                   static_cast<long long>(r.states[1]),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"sweep\": {\"threads\": %d, \"wall_seconds\": %.6f, "
+                 "\"sum_job_seconds\": %.6f},\n",
+                 eopts.ResolvedThreads(), sweep_seconds, serial_seconds);
+    std::fprintf(f,
+                 "  \"cover_memo\": {\"hits\": %lld, \"misses\": %lld, "
+                 "\"hit_rate\": %.6f, \"groups_scanned\": %lld, "
+                 "\"groups_resumed\": %lld}\n}\n",
+                 static_cast<long long>(memo.hits),
+                 static_cast<long long>(memo.misses), memo.HitRate(),
+                 static_cast<long long>(memo.groups_scanned),
+                 static_cast<long long>(memo.groups_resumed));
+    std::fclose(f);
+  }
   return 0;
 }

@@ -3,11 +3,15 @@
 //
 // The paper's experiments (Figs. 9-12) sweep the trust threshold τ and
 // re-run Algorithm 1/2 at every grid point; the context (conflict graph,
-// difference-set index, heuristic) is τ-independent and therefore shared.
-// Each job runs the SERIAL search engine on a pool worker (job-level
-// parallelism composes better than nested state-level parallelism and
-// keeps every job's result trivially deterministic); outcomes are returned
-// in job order regardless of completion order.
+// difference-set index, violation table, cover memo, heuristic) is
+// τ-independent and therefore shared — in particular all jobs of a sweep
+// evaluate through ONE ViolationTable and ONE memoized cover layer, so a
+// state visited by several τ jobs pays for its cover once (DESIGN.md,
+// "The δP evaluation pipeline"). Each job runs the SERIAL search engine on
+// a pool worker (job-level parallelism composes better than nested
+// state-level parallelism and keeps every job's result trivially
+// deterministic); outcomes are returned in job order regardless of
+// completion order.
 //
 // This header is the top of the exec/ subsystem and depends on src/repair/;
 // the primitives it schedules on (thread_pool.h, parallel_for.h) depend on

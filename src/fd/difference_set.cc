@@ -70,6 +70,14 @@ std::string DifferenceSetIndex::ToString(const Schema& schema) const {
   return out;
 }
 
+DifferenceSetIndex BuildDifferenceSetIndex(const EncodedInstance& inst,
+                                           const FDSet& sigma,
+                                           const exec::Options& eopts) {
+  std::unique_ptr<exec::ThreadPool> pool = exec::MakePool(eopts);
+  return DifferenceSetIndex(inst, BuildConflictGraph(inst, sigma, pool.get()),
+                            pool.get());
+}
+
 bool DiffSetViolates(AttrSet diff, const FDSet& fds) {
   for (const FD& fd : fds.fds()) {
     if (fd.ViolatedByDiffSet(diff)) return true;

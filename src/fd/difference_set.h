@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/exec/options.h"
 #include "src/fd/conflict_graph.h"
 
 namespace retrust {
@@ -62,6 +63,15 @@ class DifferenceSetIndex {
 
 /// True iff difference set `diff` violates at least one FD in `fds`.
 bool DiffSetViolates(AttrSet diff, const FDSet& fds);
+
+/// Builds the conflict graph of (inst, sigma) and its difference-set index
+/// with both constructions sharded on a short-lived pool per `eopts`
+/// (serial options spin up no pool). The result is BIT-IDENTICAL for any
+/// thread count. Shared by the FD-modification search and Algorithm 4's
+/// data-repair pass.
+DifferenceSetIndex BuildDifferenceSetIndex(const EncodedInstance& inst,
+                                           const FDSet& sigma,
+                                           const exec::Options& eopts);
 
 }  // namespace retrust
 

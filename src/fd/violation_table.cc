@@ -1,0 +1,65 @@
+#include "src/fd/violation_table.h"
+
+#include <stdexcept>
+
+#include "src/exec/parallel_for.h"
+
+namespace retrust {
+
+ViolationTable::ViolationTable(const FDSet& sigma,
+                               const DifferenceSetIndex& index,
+                               exec::ThreadPool* pool)
+    : num_fds_(sigma.size()), num_groups_(index.size()) {
+  if (num_fds_ > 64) {
+    throw std::invalid_argument("ViolationTable supports at most 64 FDs");
+  }
+  fd_mask_.assign(num_groups_, 0);
+  diff_bits_.assign(num_groups_, 0);
+  // Sharded per-group incidence: each group writes its own disjoint slot,
+  // so the sharded build is trivially identical to the serial one.
+  exec::ParallelFor(pool, num_groups_,
+                    [&](int64_t begin, int64_t end, int /*chunk*/) {
+                      for (int64_t g = begin; g < end; ++g) {
+                        AttrSet diff = index.group(static_cast<int>(g)).diff;
+                        diff_bits_[g] = diff.bits();
+                        uint64_t mask = 0;
+                        for (int i = 0; i < num_fds_; ++i) {
+                          const FD& fd = sigma.fd(i);
+                          if (diff.Contains(fd.rhs) &&
+                              !fd.lhs.Intersects(diff)) {
+                            mask |= uint64_t{1} << i;
+                          }
+                        }
+                        fd_mask_[g] = mask;
+                      }
+                    });
+  // Serial per-FD candidate assembly in canonical group order.
+  cand_groups_.resize(num_fds_);
+  cand_mask_.assign(num_fds_, GroupBitset(num_groups_));
+  for (int g = 0; g < num_groups_; ++g) {
+    uint64_t mask = fd_mask_[g];
+    while (mask != 0) {
+      int i = std::countr_zero(mask);
+      mask &= mask - 1;
+      cand_groups_[i].push_back(g);
+      cand_mask_[i].Set(g);
+    }
+  }
+}
+
+void ViolationTable::ViolatedGroups(const std::vector<AttrSet>& ext,
+                                    GroupBitset* out) const {
+  out->Reset(num_groups_);
+  for (int i = 0; i < num_fds_; ++i) {
+    if (ext[i].Empty()) {
+      out->OrWith(cand_mask_[i]);
+      continue;
+    }
+    const uint64_t e = ext[i].bits();
+    for (int32_t g : cand_groups_[i]) {
+      if ((e & diff_bits_[g]) == 0) out->Set(g);
+    }
+  }
+}
+
+}  // namespace retrust

@@ -20,12 +20,13 @@ namespace retrust {
 /// vertex ids in increasing order.
 std::vector<int32_t> GreedyVertexCover(const Graph& g);
 
-/// Same, but over a raw edge list (the heuristic unions edge groups without
+/// Same, but over a raw edge list (callers union edge groups without
 /// materializing a Graph). `scratch` marks covered vertices; it must be
 /// sized >= max vertex id + 1 (EnsureVertices) and is reset before use via
-/// the epoch trick. One instance serves one thread; the search layer keeps
-/// a thread_local instance so a shared FdSearchContext is safe to use from
-/// many threads at once (see DESIGN.md).
+/// the epoch trick. One instance serves one thread at a time. The hot
+/// search paths now go through CoverMemo (cover_memo.h), which owns pooled
+/// epoch-marked scratch of its own; this class remains the primitive for
+/// one-shot covers and the legacy/oracle paths.
 class MatchingCoverScratch {
  public:
   explicit MatchingCoverScratch(int32_t num_vertices)

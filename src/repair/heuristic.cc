@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/repair/evaluation.h"
+
 namespace retrust {
 
 int64_t RepairAlpha(int num_attrs, int num_fds) {
@@ -11,11 +13,13 @@ int64_t RepairAlpha(int num_attrs, int num_fds) {
 GcHeuristic::GcHeuristic(const FDSet& sigma, const StateSpace& space,
                          const WeightFunction& weights,
                          const DifferenceSetIndex& index, int num_tuples,
-                         HeuristicOptions opts)
+                         HeuristicOptions opts,
+                         const DeltaPEvaluator* evaluator)
     : sigma_(sigma),
       space_(space),
       weights_(weights),
       index_(index),
+      evaluator_(evaluator),
       num_tuples_(num_tuples),
       alpha_(0),
       opts_(opts) {
@@ -28,6 +32,8 @@ GcHeuristic::GcHeuristic(const FDSet& sigma, const StateSpace& space,
 }
 
 bool GcHeuristic::GroupViolates(int g, const SearchState& s) const {
+  if (evaluator_ != nullptr) return evaluator_->GroupViolated(g, s);
+  // Legacy scan (reference/oracle path).
   AttrSet diff = index_.group(g).diff;
   for (int i = 0; i < sigma_.size(); ++i) {
     const FD& fd = sigma_.fd(i);
@@ -40,17 +46,20 @@ bool GcHeuristic::GroupViolates(int g, const SearchState& s) const {
 
 int32_t GcHeuristic::CoverOfGroups(const std::vector<int>& groups,
                                    SearchStats* stats) const {
+  // The concatenation order (selection order, NOT ascending group index)
+  // matters: greedy matching covers are order-sensitive. The memoized path
+  // therefore keys on the ordered sequence.
+  if (evaluator_ != nullptr) return evaluator_->CoverOfGroups(groups, stats);
+  // Legacy scan (reference/oracle path): concatenate edges of the groups
+  // in order; greedy matching cover. (Groups are disjoint edge sets by
+  // construction.)
   if (stats != nullptr) ++stats->vc_computations;
-  // Concatenate edges of the groups in order; greedy matching cover.
-  // (Groups are disjoint edge sets by construction.)
-  static thread_local std::vector<Edge> edges;
-  static thread_local MatchingCoverScratch scratch(0);
-  edges.clear();
+  std::vector<Edge> edges;
   for (int g : groups) {
     const auto& ge = index_.group(g).edges;
     edges.insert(edges.end(), ge.begin(), ge.end());
   }
-  scratch.EnsureVertices(num_tuples_);
+  MatchingCoverScratch scratch(num_tuples_);
   return scratch.CoverSize(edges);
 }
 
@@ -132,10 +141,15 @@ double GcHeuristic::ComputeWithCap(const SearchState& s, int64_t tau,
   if (stats != nullptr) ++stats->heuristic_calls;
   double own_cost = s.Cost(weights_);
 
-  // Groups still violated under s.
+  // Groups still violated under s (the table path materializes the set as
+  // one bitset pass; the legacy path scans per group).
   std::vector<int> violated;
-  for (int g = 0; g < index_.size(); ++g) {
-    if (GroupViolates(g, s)) violated.push_back(g);
+  if (evaluator_ != nullptr) {
+    violated = evaluator_->ViolatedGroupIds(s);
+  } else {
+    for (int g = 0; g < index_.size(); ++g) {
+      if (GroupViolates(g, s)) violated.push_back(g);
+    }
   }
   if (violated.empty()) return own_cost;  // s itself is a goal state
 

@@ -49,16 +49,27 @@ struct HeuristicOptions {
 /// α = min(|R| - 1, |Σ|): the per-tuple change bound (paper §5/§6).
 int64_t RepairAlpha(int num_attrs, int num_fds);
 
+class DeltaPEvaluator;
+
 /// Computes gc(S) for states of one (Σ, I) search. Holds references to the
 /// FD set, state space, weights and the difference-set index; all must
-/// outlive the heuristic. Compute() is const AND thread-safe: per-call
-/// mutable state lives in thread_local scratch, so one heuristic instance
-/// serves concurrent searches and parallel successor evaluation.
+/// outlive the heuristic. Compute() is const AND thread-safe, so one
+/// heuristic instance serves concurrent searches and parallel successor
+/// evaluation.
+///
+/// When constructed with a DeltaPEvaluator (as FdSearchContext does), the
+/// group-violation tests and Algorithm 3 covers run through the shared
+/// evaluation layer (incidence table + memoized covers, DESIGN.md).
+/// Without one, the original per-group FD-set scan is used — kept as the
+/// reference path for standalone construction and as the legacy oracle the
+/// evaluation layer is tested against; both paths produce bit-identical gc
+/// values (tests/evaluator_oracle_test.cc).
 class GcHeuristic {
  public:
   GcHeuristic(const FDSet& sigma, const StateSpace& space,
               const WeightFunction& weights, const DifferenceSetIndex& index,
-              int num_tuples, HeuristicOptions opts = {});
+              int num_tuples, HeuristicOptions opts = {},
+              const DeltaPEvaluator* evaluator = nullptr);
 
   int64_t alpha() const { return alpha_; }
 
@@ -104,6 +115,7 @@ class GcHeuristic {
   const StateSpace& space_;
   const WeightFunction& weights_;
   const DifferenceSetIndex& index_;
+  const DeltaPEvaluator* evaluator_;  ///< null = legacy scan path
   int num_tuples_;
   int64_t alpha_;
   HeuristicOptions opts_;

@@ -10,20 +10,6 @@
 
 namespace retrust {
 
-namespace {
-
-// Builds the difference-set index with the conflict-graph construction
-// sharded on a short-lived pool (no-op pool for serial options).
-DifferenceSetIndex BuildIndexSharded(const EncodedInstance& inst,
-                                     const FDSet& sigma,
-                                     const exec::Options& eopts) {
-  std::unique_ptr<exec::ThreadPool> pool = exec::MakePool(eopts);
-  return DifferenceSetIndex(inst, BuildConflictGraph(inst, sigma, pool.get()),
-                            pool.get());
-}
-
-}  // namespace
-
 FdSearchContext::FdSearchContext(const FDSet& sigma,
                                  const EncodedInstance& inst,
                                  const WeightFunction& weights,
@@ -32,33 +18,20 @@ FdSearchContext::FdSearchContext(const FDSet& sigma,
     : sigma_(sigma),
       num_tuples_(inst.NumTuples()),
       space_(sigma, inst.schema()),
-      index_(BuildIndexSharded(inst, sigma, eopts)),
+      index_(BuildDifferenceSetIndex(inst, sigma, eopts)),
+      evaluator_(std::make_unique<DeltaPEvaluator>(sigma_, index_,
+                                                   inst.NumTuples(), eopts)),
       weights_(weights),
-      heuristic_(sigma_, space_, weights_, index_, inst.NumTuples(), hopts) {}
+      heuristic_(sigma_, space_, weights_, index_, inst.NumTuples(), hopts,
+                 evaluator_.get()) {}
 
 int64_t FdSearchContext::CoverSize(const SearchState& s,
                                    SearchStats* stats) const {
-  if (stats != nullptr) ++stats->vc_computations;
-  // Gather edges of groups still violated under s. A difference set d
-  // violates FD i of the relaxation iff A_i ∈ d and (X_i ∪ Y_i) ∩ d = ∅ —
-  // no FDSet materialization needed. Group order is the index's canonical
-  // (frequency-sorted) order, used consistently by all cover computations.
-  // Scratch is thread_local: a shared context is safe to evaluate from many
-  // threads (exec::Sweep, speculative successor evaluation).
-  static thread_local std::vector<Edge> edges;
-  static thread_local MatchingCoverScratch scratch(0);
-  edges.clear();
-  for (const DiffSetGroup& g : index_.groups()) {
-    bool violated = false;
-    for (int i = 0; i < sigma_.size() && !violated; ++i) {
-      const FD& fd = sigma_.fd(i);
-      violated = g.diff.Contains(fd.rhs) &&
-                 !fd.lhs.Union(s.ext[i]).Intersects(g.diff);
-    }
-    if (violated) edges.insert(edges.end(), g.edges.begin(), g.edges.end());
-  }
-  scratch.EnsureVertices(num_tuples_);
-  return scratch.CoverSize(edges);
+  // δP pipeline (DESIGN.md): the violation table materializes the groups
+  // still violated under s as a group bitset, and the memoized cover layer
+  // matches their edges in the canonical group order — bit-identical to
+  // the legacy per-group FD-set scan it replaced.
+  return evaluator_->CoverSize(s, stats);
 }
 
 int64_t FdSearchContext::DeltaP(const SearchState& s,
@@ -96,8 +69,8 @@ struct OpenEntry {
 //
 // gc(S) and |C2opt(S)| are pure functions of (state, τ), so evaluating
 // them EARLY — at expansion time, for a popped state's LHS-extensions
-// concurrently, each child on its own worker with its own thread_local
-// MatchingCoverScratch — and handing the memoized values to the unmodified
+// concurrently, each child on pooled scratch owned by the context's
+// evaluation layer — and handing the memoized values to the unmodified
 // lazy search loop later produces the exact serial visit order and result
 // for any thread count. Speculation trades extra evaluations (children
 // that never reach the top of the heap) for wall-clock parallelism; the

@@ -13,11 +13,13 @@
 #define RETRUST_REPAIR_MODIFY_FDS_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "src/exec/options.h"
 #include "src/fd/difference_set.h"
+#include "src/repair/evaluation.h"
 #include "src/repair/heuristic.h"
 #include "src/repair/state_space.h"
 
@@ -68,14 +70,16 @@ struct ModifyFdsResult {
 };
 
 /// Precomputed, τ-independent context shared by searches over one (Σ, I):
-/// the conflict graph of Σ, its difference-set index, state space, and
+/// the conflict graph of Σ, its difference-set index, the δP evaluation
+/// layer (violation incidence table + memoized covers), state space, and
 /// heuristic. Build once, run ModifyFds/FindRepairsFds many times — also
-/// concurrently: every const method is thread-safe (per-thread scratch,
-/// mutex-guarded weight memo), which is what exec::Sweep relies on.
+/// concurrently: every const method is thread-safe (pooled scratch owned
+/// by the evaluation layer, mutex-guarded memos), which is what
+/// exec::Sweep relies on; sweep jobs share the table AND the cover memo.
 class FdSearchContext {
  public:
-  /// `eopts` shards the conflict-graph and difference-set construction
-  /// (identical output for any thread count).
+  /// `eopts` shards the conflict-graph, difference-set, and violation-
+  /// table construction (identical output for any thread count).
   FdSearchContext(const FDSet& sigma, const EncodedInstance& inst,
                   const WeightFunction& weights,
                   const HeuristicOptions& hopts = {},
@@ -84,13 +88,16 @@ class FdSearchContext {
   const FDSet& sigma() const { return sigma_; }
   const StateSpace& space() const { return space_; }
   const DifferenceSetIndex& index() const { return index_; }
+  const DeltaPEvaluator& evaluator() const { return *evaluator_; }
   const GcHeuristic& heuristic() const { return heuristic_; }
   const WeightFunction& weights() const { return weights_; }
   int64_t alpha() const { return heuristic_.alpha(); }
   int num_tuples() const { return num_tuples_; }
 
   /// |C2opt(Σ', I)| for the relaxation given by `s`: greedy cover over Σ's
-  /// conflict edges still violated under `s`, in canonical (u, v) order.
+  /// conflict edges still violated under `s`, in canonical (u, v) order —
+  /// evaluated through the memoized δP pipeline, bit-identical to the
+  /// direct scan.
   int64_t CoverSize(const SearchState& s, SearchStats* stats) const;
 
   /// δP(Σ', I) = α · CoverSize.
@@ -104,6 +111,7 @@ class FdSearchContext {
   int num_tuples_;
   StateSpace space_;
   DifferenceSetIndex index_;
+  std::unique_ptr<DeltaPEvaluator> evaluator_;  ///< built over index_
   const WeightFunction& weights_;
   GcHeuristic heuristic_;
 };

@@ -74,14 +74,15 @@ std::optional<std::vector<int32_t>> FindAssignment(
 }  // namespace internal
 
 DataRepairResult RepairData(const EncodedInstance& inst,
-                            const FDSet& sigma_prime, Rng* rng) {
+                            const FDSet& sigma_prime, Rng* rng,
+                            const exec::Options& eopts) {
   DataRepairResult result;
-  ConflictGraph cg = BuildConflictGraph(inst, sigma_prime);
   // Compute the matching cover over edges in difference-set-group order —
   // the SAME canonical order FdSearchContext::CoverSize uses — so the
   // number of cover tuples here equals the δP/α the search certified
-  // against τ (Theorem 2 consistency).
-  DifferenceSetIndex index(inst, cg);
+  // against τ (Theorem 2 consistency). The graph/index construction is
+  // sharded per eopts; the index is identical for any thread count.
+  DifferenceSetIndex index = BuildDifferenceSetIndex(inst, sigma_prime, eopts);
   std::vector<int32_t> cover;
   {
     std::vector<char> covered(inst.NumTuples(), 0);

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/exec/options.h"
 #include "src/fd/fdset.h"
 #include "src/relational/dictionary.h"
 #include "src/util/hash.h"
@@ -33,9 +34,13 @@ struct DataRepairResult {
 };
 
 /// Algorithm 4. `rng` drives the random tuple/attribute orders; fix the
-/// seed for reproducible repairs.
+/// seed for reproducible repairs. `eopts` shards the conflict-graph and
+/// difference-set construction that finds the cover (the repaired
+/// instance is BIT-IDENTICAL for any thread count; the chase itself is
+/// linear-time, seed-driven, and stays serial).
 DataRepairResult RepairData(const EncodedInstance& inst,
-                            const FDSet& sigma_prime, Rng* rng);
+                            const FDSet& sigma_prime, Rng* rng,
+                            const exec::Options& eopts = {});
 
 namespace internal {
 

@@ -13,7 +13,8 @@ std::optional<Repair> RepairDataAndFds(const FdSearchContext& ctx,
 
   const FdRepair& fd_repair = *search.repair;
   Rng rng(opts.seed);
-  DataRepairResult data = RepairData(inst, fd_repair.sigma_prime, &rng);
+  DataRepairResult data =
+      RepairData(inst, fd_repair.sigma_prime, &rng, opts.search.exec);
 
   Repair out;
   out.sigma_prime = fd_repair.sigma_prime;

@@ -79,6 +79,10 @@ struct SearchStats {
   int64_t states_generated = 0;  ///< states pushed onto the open list
   int64_t heuristic_calls = 0;   ///< gc() evaluations
   int64_t vc_computations = 0;   ///< approximate vertex covers computed
+  /// Cover evaluations answered by the memoized evaluation layer instead
+  /// of recomputed; vc_computations + vc_memo_hits is what the legacy
+  /// (pre-memo) path counted as vc_computations.
+  int64_t vc_memo_hits = 0;
   double seconds = 0.0;          ///< wall-clock time
 
   void Accumulate(const SearchStats& o) {
@@ -86,6 +90,7 @@ struct SearchStats {
     states_generated += o.states_generated;
     heuristic_calls += o.heuristic_calls;
     vc_computations += o.vc_computations;
+    vc_memo_hits += o.vc_memo_hits;
     seconds += o.seconds;
   }
 };

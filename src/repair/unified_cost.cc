@@ -20,7 +20,10 @@ Repair UnifiedCostRepair(const FDSet& sigma, const EncodedInstance& inst,
                          const WeightFunction& weights,
                          const UnifiedCostOptions& opts) {
   Timer timer;
-  FdSearchContext ctx(sigma, inst, weights, HeuristicOptions{});
+  // The greedy descent scores every candidate via ctx.DeltaP, i.e. through
+  // the context's shared δP evaluation layer — candidates revisited across
+  // descent rounds hit the cover memo instead of recomputing.
+  FdSearchContext ctx(sigma, inst, weights, HeuristicOptions{}, opts.exec);
   SearchStats stats;
 
   SearchState current = SearchState::Root(sigma.size());
@@ -65,7 +68,7 @@ Repair UnifiedCostRepair(const FDSet& sigma, const EncodedInstance& inst,
 
   FDSet sigma_prime = current.Apply(sigma);
   Rng rng(opts.seed);
-  DataRepairResult data = RepairData(inst, sigma_prime, &rng);
+  DataRepairResult data = RepairData(inst, sigma_prime, &rng, opts.exec);
 
   Repair out;
   out.sigma_prime = std::move(sigma_prime);
