@@ -31,13 +31,13 @@ int main() {
 
     Rng rng_a(seed);
     Timer t1;
-    DataRepairResult alg4 = RepairData((*data.encoded), data.dirty.fds, &rng_a);
+    DataRepairResult alg4 = RepairData(data.encoded(), data.dirty.fds, &rng_a);
     double alg4_time = t1.ElapsedSeconds();
 
     Rng rng_b(seed);
     Timer t2;
     DataRepairResult sampler =
-        CellSamplerRepair((*data.encoded), data.dirty.fds, &rng_b);
+        CellSamplerRepair(data.encoded(), data.dirty.fds, &rng_b);
     double sampler_time = t2.ElapsedSeconds();
 
     bool valid = Satisfies(alg4.repaired, data.dirty.fds) &&

@@ -36,7 +36,7 @@ int main() {
       ModifyFdsOptions opts;
       opts.heuristic = hopts;
       Timer timer;
-      ModifyFdsResult r = ModifyFds(*data.context, tau, opts);
+      ModifyFdsResult r = ModifyFds(data.context(), tau, opts);
       std::printf("%12d %8s %14.3f %12lld %12lld %10.0f\n", budget,
                   strict ? "yes" : "no", timer.ElapsedSeconds(),
                   static_cast<long long>(r.stats.states_visited),

@@ -40,7 +40,7 @@ int main() {
       opts.max_visited = kBestFirstCap *
                          ((modes[k] == SearchMode::kBestFirst) ? 1 : 2);
       Timer timer;
-      ModifyFdsResult r = ModifyFds(*data.context, tau, opts);
+      ModifyFdsResult r = ModifyFds(data.context(), tau, opts);
       times[k] = timer.ElapsedSeconds();
       states[k] = r.stats.states_visited;
       capped[k] = !r.repair.has_value() && states[k] >= opts.max_visited;

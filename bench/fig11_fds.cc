@@ -4,6 +4,7 @@
 // paper — here it hits the state cap instead.
 
 #include "bench/bench_common.h"
+#include "src/api/session.h"
 #include "src/eval/experiment.h"
 #include "src/util/timer.h"
 
@@ -34,26 +35,36 @@ int main() {
     std::vector<FD> fds;
     for (int i = 0; i < z; ++i) fds.push_back(dirty.fds.fd(0));
     FDSet sigma(fds);
-    EncodedInstance enc(dirty.data);
-    DistinctCountWeight weights(enc);
-    FdSearchContext ctx(sigma, enc, weights);
-    int64_t tau = TauFromRelative(0.02, ctx.RootDeltaP());
+    Result<Session> session = Session::Open(dirty.data, sigma);
+    if (!session.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   session.status().ToString().c_str());
+      return 1;
+    }
+    int64_t tau = TauFromRelative(0.02, session->RootDeltaP());
 
     double times[2];
     int64_t states[2];
     bool capped[2] = {false, false};
     const SearchMode modes[] = {SearchMode::kAStar, SearchMode::kBestFirst};
     for (int k = 0; k < 2; ++k) {
-      ModifyFdsOptions opts;
-      opts.mode = modes[k];
+      RepairRequest req = RepairRequest::At(tau);
+      req.mode = modes[k];
       // Cap both modes (single-core safety); '+' marks capped runs.
-      opts.max_visited = kBestFirstCap *
-                         ((modes[k] == SearchMode::kBestFirst) ? 1 : 2);
+      req.budget = kBestFirstCap *
+                   ((modes[k] == SearchMode::kBestFirst) ? 1 : 2);
       Timer timer;
-      ModifyFdsResult r = ModifyFds(ctx, tau, opts);
+      Result<SearchProbe> probe = session->Search(req);
+      if (!probe.ok()) {
+        std::fprintf(stderr, "probe failed: %s\n",
+                     probe.status().ToString().c_str());
+        return 1;
+      }
       times[k] = timer.ElapsedSeconds();
-      states[k] = r.stats.states_visited;
-      capped[k] = !r.repair.has_value() && states[k] >= opts.max_visited;
+      states[k] = probe->result.stats.states_visited;
+      capped[k] = !probe->result.repair.has_value() &&
+                  probe->result.termination ==
+                      SearchTermination::kVisitBudget;
     }
     std::printf("%8d %14.3f %14.3f %15lld%s %15lld%s\n", z, times[0],
                 times[1], static_cast<long long>(states[0]), capped[0] ? "+" : " ",

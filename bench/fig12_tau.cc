@@ -2,10 +2,13 @@
 // and (b) visited states, for A* vs best-first. One FD with a wide LHS,
 // heavily perturbed, as in the paper (appended attributes range from many
 // at small τr down to one near τr = 100%; below some τr no repair exists).
+//
+// Runs entirely through the public facade: per-mode grid points are
+// Session::Search probes, the concurrent grid is one Session::SearchMany
+// batch on the session's sweep pool.
 
 #include "bench/bench_common.h"
 #include "src/eval/experiment.h"
-#include "src/exec/sweep.h"
 #include "src/util/timer.h"
 
 using namespace retrust;
@@ -22,10 +25,21 @@ int main() {
   perturb.fd_error_rate = 0.5;
   perturb.data_error_rate = 0.02;
   perturb.seed = 7;
+  // The batched grid fans out on RETRUST_THREADS (default = hardware).
+  exec::Options eopts;
+  eopts.num_threads = 0;
+  if (const char* env = std::getenv("RETRUST_THREADS")) {
+    eopts.num_threads = std::atoi(env);
+  }
   Timer prepare_timer;
-  ExperimentData data = PrepareExperiment(gen, perturb);
+  ExperimentData data = PrepareExperiment(gen, perturb,
+                                          WeightKind::kDistinctCount,
+                                          HeuristicOptions{}, eopts);
+  Session& session = *data.session;
   double prepare_seconds = prepare_timer.ElapsedSeconds();
   const int64_t kBestFirstCap = 60000;
+  const std::vector<double> kTauGrid = {0.05, 0.10, 0.17, 0.25,
+                                        0.40, 0.55, 0.75, 0.99};
 
   struct GridRow {
     double tau_r = 0.0;
@@ -41,22 +55,26 @@ int main() {
   std::printf("%8s %8s %14s %14s %14s %14s\n", "tau_r", "appended",
               "A*-time(s)", "BF-time(s)", "A*-states", "BF-states");
   Timer grid_timer;
-  for (double tr : {0.05, 0.10, 0.17, 0.25, 0.40, 0.55, 0.75, 0.99}) {
+  for (double tr : kTauGrid) {
     GridRow row;
     row.tau_r = tr;
-    row.tau = TauFromRelative(tr, data.root_delta_p);
     const SearchMode modes[] = {SearchMode::kAStar, SearchMode::kBestFirst};
     for (int k = 0; k < 2; ++k) {
-      ModifyFdsOptions opts;
-      opts.mode = modes[k];
-      opts.max_visited =
-          (modes[k] == SearchMode::kBestFirst) ? kBestFirstCap : 0;
+      RepairRequest req = RepairRequest::AtRelative(tr);
+      req.mode = modes[k];
+      req.budget = (modes[k] == SearchMode::kBestFirst) ? kBestFirstCap : 0;
       Timer timer;
-      ModifyFdsResult r = ModifyFds(*data.context, row.tau, opts);
+      Result<SearchProbe> probe = session.Search(req);
+      if (!probe.ok()) {
+        std::fprintf(stderr, "probe failed: %s\n",
+                     probe.status().ToString().c_str());
+        return 1;
+      }
+      row.tau = probe->tau;
       row.seconds[k] = timer.ElapsedSeconds();
-      row.states[k] = r.stats.states_visited;
-      if (k == 0 && r.repair.has_value()) {
-        row.appended = r.repair->state.TotalAppended();
+      row.states[k] = probe->result.stats.states_visited;
+      if (k == 0 && probe->result.repair.has_value()) {
+        row.appended = probe->result.repair->state.TotalAppended();
       }
     }
     if (row.appended < 0) {
@@ -77,30 +95,26 @@ int main() {
               "tau_r; the gap narrows as tau_r grows (goal states get "
               "shallow for both).\n");
 
-  // The same τr grid as one exec::Sweep over the shared context: all grid
-  // points run concurrently (RETRUST_THREADS, default = hardware) and share
-  // one violation table + cover memo.
-  exec::Options eopts;
-  eopts.num_threads = 0;
-  if (const char* env = std::getenv("RETRUST_THREADS")) {
-    eopts.num_threads = std::atoi(env);
-  }
-  std::vector<int64_t> taus = exec::TauGridFromRelative(
-      {0.05, 0.10, 0.17, 0.25, 0.40, 0.55, 0.75, 0.99}, data.root_delta_p);
-  exec::Sweep sweep(*data.context, *data.encoded, eopts);
+  // The same τr grid as one batched request: all grid points run
+  // concurrently on the session's sweep pool and share one violation
+  // table + cover memo.
+  std::vector<RepairRequest> batch;
+  for (double tr : kTauGrid) batch.push_back(RepairRequest::AtRelative(tr));
   Timer sweep_timer;
-  std::vector<ModifyFdsResult> swept = sweep.RunSearches(taus);
+  std::vector<Result<SearchProbe>> swept = session.SearchMany(batch);
   double sweep_seconds = sweep_timer.ElapsedSeconds();
   double serial_seconds = 0.0;
-  for (const ModifyFdsResult& r : swept) serial_seconds += r.stats.seconds;
-  std::printf("\ntau-sweep API: %zu grid points in %.3fs wall at %d threads "
-              "(sum of per-search times: %.3fs)\n",
+  for (const Result<SearchProbe>& probe : swept) {
+    if (probe.ok()) serial_seconds += probe->result.stats.seconds;
+  }
+  std::printf("\nbatched-request API: %zu grid points in %.3fs wall at %d "
+              "threads (sum of per-search times: %.3fs)\n",
               swept.size(), sweep_seconds, eopts.ResolvedThreads(),
               serial_seconds);
 
   // Machine-readable trajectory: per-phase timings and the δP pipeline's
   // cover-memo effectiveness over the whole run.
-  CoverMemo::Stats memo = data.context->evaluator().memo().stats();
+  CoverMemo::Stats memo = session.context().evaluator().memo().stats();
   if (FILE* f = bench::OpenBenchJson("fig12_tau")) {
     std::fprintf(f, "{\n  \"bench\": \"fig12_tau\",\n");
     std::fprintf(f, "  \"scale\": %.3f,\n", bench::Scale());

@@ -37,11 +37,11 @@ int main() {
         1, TauFromRelative(0.017, data.root_delta_p));  // paper's 1.7%
 
     Timer t1;
-    MultiRepairResult range = FindRepairsFds(*data.context, 0, tau_hi);
+    MultiRepairResult range = FindRepairsFds(data.context(), 0, tau_hi);
     double range_time = t1.ElapsedSeconds();
 
     Timer t2;
-    MultiRepairResult sample = SamplingRepairs(*data.context, 0, tau_hi, step);
+    MultiRepairResult sample = SamplingRepairs(data.context(), 0, tau_hi, step);
     double sample_time = t2.ElapsedSeconds();
 
     std::printf("%9.0f%% %16.3f %16.3f %9.2fx %12zu %12zu\n", max_tr * 100,

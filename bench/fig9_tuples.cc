@@ -45,7 +45,7 @@ int main() {
                          ((modes[k] == SearchMode::kBestFirst) ? 1 : 2);
       int64_t tau = TauFromRelative(0.02, data.root_delta_p);
       Timer timer;
-      ModifyFdsResult r = ModifyFds(*data.context, tau, opts);
+      ModifyFdsResult r = ModifyFds(data.context(), tau, opts);
       times[k] = timer.ElapsedSeconds();
       states[k] = r.stats.states_visited;
       capped[k] = !r.repair.has_value() && states[k] >= opts.max_visited;

@@ -44,7 +44,7 @@ ExperimentData& SharedData(int n) {
 void BM_Encode(benchmark::State& state) {
   ExperimentData& d = SharedData(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    EncodedInstance enc(d.dirty_instance);
+    EncodedInstance enc(d.dirty_instance());
     benchmark::DoNotOptimize(enc.NumTuples());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -54,7 +54,7 @@ BENCHMARK(BM_Encode)->Arg(1000)->Arg(4000);
 void BM_BuildConflictGraph(benchmark::State& state) {
   ExperimentData& d = SharedData(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    ConflictGraph cg = BuildConflictGraph((*d.encoded), d.dirty.fds);
+    ConflictGraph cg = BuildConflictGraph(d.encoded(), d.dirty.fds);
     benchmark::DoNotOptimize(cg.num_edges());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -63,7 +63,7 @@ BENCHMARK(BM_BuildConflictGraph)->Arg(1000)->Arg(4000);
 
 void BM_GreedyVertexCover(benchmark::State& state) {
   ExperimentData& d = SharedData(static_cast<int>(state.range(0)));
-  ConflictGraph cg = BuildConflictGraph((*d.encoded), d.dirty.fds);
+  ConflictGraph cg = BuildConflictGraph(d.encoded(), d.dirty.fds);
   for (auto _ : state) {
     auto cover = GreedyVertexCover(cg.graph);
     benchmark::DoNotOptimize(cover.size());
@@ -73,9 +73,9 @@ BENCHMARK(BM_GreedyVertexCover)->Arg(1000)->Arg(4000);
 
 void BM_DiffSetIndex(benchmark::State& state) {
   ExperimentData& d = SharedData(static_cast<int>(state.range(0)));
-  ConflictGraph cg = BuildConflictGraph((*d.encoded), d.dirty.fds);
+  ConflictGraph cg = BuildConflictGraph(d.encoded(), d.dirty.fds);
   for (auto _ : state) {
-    DifferenceSetIndex idx((*d.encoded), cg);
+    DifferenceSetIndex idx(d.encoded(), cg);
     benchmark::DoNotOptimize(idx.size());
   }
 }
@@ -88,28 +88,37 @@ void BM_ViolationDetectionSharded(benchmark::State& state) {
   std::unique_ptr<exec::ThreadPool> pool =
       exec::MakePool({static_cast<int>(state.range(0))});
   for (auto _ : state) {
-    ConflictGraph cg = BuildConflictGraph((*d.encoded), d.dirty.fds,
+    ConflictGraph cg = BuildConflictGraph(d.encoded(), d.dirty.fds,
                                           pool.get());
-    DifferenceSetIndex idx((*d.encoded), cg, pool.get());
+    DifferenceSetIndex idx(d.encoded(), cg, pool.get());
     benchmark::DoNotOptimize(idx.size());
   }
 }
 BENCHMARK(BM_ViolationDetectionSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
-// τ-sweep over a shared context: 8 grid points per iteration, at 1..8
-// sweep threads.
+// τ-sweep through the facade: 8 grid points per Session::SearchMany batch,
+// at 1..8 sweep threads (a fresh Session per thread count so the pool size
+// matches, sharing the warm dataset).
 void BM_TauSweep(benchmark::State& state) {
   ExperimentData& d = SharedData(1000);
-  std::vector<int64_t> taus = exec::TauGridFromRelative(
-      {0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.9}, d.root_delta_p);
-  exec::Sweep sweep(*d.context, *d.encoded,
-                    {static_cast<int>(state.range(0))});
+  SessionOptions sopts;
+  sopts.exec.num_threads = static_cast<int>(state.range(0));
+  Result<Session> session =
+      Session::Open(d.dirty_instance(), d.dirty.fds, sopts);
+  if (!session.ok()) {
+    state.SkipWithError(session.status().ToString().c_str());
+    return;
+  }
+  std::vector<RepairRequest> batch;
+  for (double tr : {0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.9}) {
+    batch.push_back(RepairRequest::AtRelative(tr));
+  }
   for (auto _ : state) {
-    auto results = sweep.RunSearches(taus);
+    auto results = session->SearchMany(batch);
     benchmark::DoNotOptimize(results.size());
   }
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(taus.size()));
+                          static_cast<int64_t>(batch.size()));
 }
 BENCHMARK(BM_TauSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
@@ -119,7 +128,7 @@ void BM_GcHeuristicRoot(benchmark::State& state) {
   int64_t tau = TauFromRelative(0.2, d.root_delta_p);
   SearchStats stats;
   for (auto _ : state) {
-    double gc = d.context->heuristic().Compute(root, tau, &stats);
+    double gc = d.context().heuristic().Compute(root, tau, &stats);
     benchmark::DoNotOptimize(gc);
   }
 }
@@ -129,7 +138,7 @@ void BM_RepairData(benchmark::State& state) {
   ExperimentData& d = SharedData(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     Rng rng(1);
-    DataRepairResult r = RepairData((*d.encoded), d.dirty.fds, &rng);
+    DataRepairResult r = RepairData(d.encoded(), d.dirty.fds, &rng);
     benchmark::DoNotOptimize(r.changed_cells.size());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -140,7 +149,7 @@ void BM_DistinctCountWeight(benchmark::State& state) {
   ExperimentData& d = SharedData(4000);
   AttrSet y{0, 3, 7};
   for (auto _ : state) {
-    DistinctCountWeight w((*d.encoded));  // cold cache each iteration
+    DistinctCountWeight w(d.encoded());  // cold cache each iteration
     benchmark::DoNotOptimize(w.Weight(y));
   }
 }
@@ -164,44 +173,60 @@ void SetCoverMemoCounters(benchmark::State& state, const SearchStats& stats) {
 void BM_ModifyFdsAStar(benchmark::State& state) {
   ExperimentData& d = SharedData(2000);
   int64_t tau = TauFromRelative(0.25, d.root_delta_p);
-  // Cold-context run for the memo counters: one search on a fresh
-  // evaluation layer, no cross-iteration warmth. Computed once — the
-  // framework re-invokes this function while calibrating, and the
-  // counters are deterministic.
+  // Cold-context run for the memo counters: one search probe on a fresh
+  // session (fresh evaluation layer), no cross-iteration warmth. Computed
+  // once — the framework re-invokes this function while calibrating, and
+  // the counters are deterministic.
   static const SearchStats cold_stats = [&] {
-    FdSearchContext cold(d.dirty.fds, *d.encoded, *d.weights);
-    return ModifyFds(cold, tau).stats;
+    Result<Session> cold = Session::Open(d.dirty_instance(), d.dirty.fds);
+    if (!cold.ok()) return SearchStats{};
+    Result<SearchProbe> probe = cold->Search(RepairRequest::At(tau));
+    return probe.ok() ? probe->result.stats : SearchStats{};
   }();
   SetCoverMemoCounters(state, cold_stats);
   for (auto _ : state) {
-    ModifyFdsResult r = ModifyFds(*d.context, tau);
-    benchmark::DoNotOptimize(r.stats.states_visited);
+    Result<SearchProbe> probe = d.session->Search(RepairRequest::At(tau));
+    if (!probe.ok()) {
+      state.SkipWithError(probe.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(probe->result.stats.states_visited);
   }
 }
 BENCHMARK(BM_ModifyFdsAStar);
 
-// One full τ-sweep on a COLD shared context per iteration: the cross-job
-// memo sharing (one ViolationTable + cover memo for all grid points) is
-// part of what is being measured.
+// One full τ-sweep on a COLD session per iteration: the cross-job memo
+// sharing (one ViolationTable + cover memo for all grid points of a
+// Session::SearchMany batch) is part of what is being measured.
 void BM_TauSweepColdContext(benchmark::State& state) {
   ExperimentData& d = SharedData(1000);
-  std::vector<int64_t> taus = exec::TauGridFromRelative(
-      {0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.9}, d.root_delta_p);
+  std::vector<RepairRequest> batch;
+  for (double tr : {0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.9}) {
+    batch.push_back(RepairRequest::AtRelative(tr));
+  }
+  SessionOptions sopts;
+  sopts.exec.num_threads = static_cast<int>(state.range(0));
   SearchStats total;
   for (auto _ : state) {
     state.PauseTiming();
-    FdSearchContext ctx(d.dirty.fds, *d.encoded, *d.weights);
+    Result<Session> session =
+        Session::Open(d.dirty_instance(), d.dirty.fds, sopts);
+    if (!session.ok()) {
+      state.SkipWithError(session.status().ToString().c_str());
+      return;
+    }
     state.ResumeTiming();
-    exec::Sweep sweep(ctx, *d.encoded, {static_cast<int>(state.range(0))});
-    std::vector<ModifyFdsResult> results = sweep.RunSearches(taus);
+    std::vector<Result<SearchProbe>> results = session->SearchMany(batch);
     benchmark::DoNotOptimize(results.size());
     state.PauseTiming();
-    for (const ModifyFdsResult& r : results) total.Accumulate(r.stats);
+    for (const Result<SearchProbe>& r : results) {
+      if (r.ok()) total.Accumulate(r->result.stats);
+    }
     state.ResumeTiming();
   }
   SetCoverMemoCounters(state, total);
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(taus.size()));
+                          static_cast<int64_t>(batch.size()));
 }
 BENCHMARK(BM_TauSweepColdContext)->Arg(1)->Arg(4);
 

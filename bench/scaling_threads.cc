@@ -57,8 +57,8 @@ int main() {
   const int thread_counts[] = {1, 2, 4, 8};
 
   std::printf("--- violation detection (%d tuples, %zu conflict edges) ---\n",
-              data.encoded->NumTuples(),
-              BuildConflictGraph(*data.encoded, data.dirty.fds).num_edges());
+              data.encoded().NumTuples(),
+              BuildConflictGraph(data.encoded(), data.dirty.fds).num_edges());
   std::printf("%8s %12s %10s\n", "threads", "time(s)", "speedup");
   double serial_seconds = 0.0;
   uint64_t serial_checksum = 0;
@@ -66,7 +66,7 @@ int main() {
     std::unique_ptr<exec::ThreadPool> pool = exec::MakePool({t});
     double seconds = 0.0;
     uint64_t checksum =
-        DetectViolations(*data.encoded, data.dirty.fds, pool.get(), &seconds);
+        DetectViolations(data.encoded(), data.dirty.fds, pool.get(), &seconds);
     if (t == 1) {
       serial_seconds = seconds;
       serial_checksum = checksum;
@@ -85,14 +85,14 @@ int main() {
       data.root_delta_p);
   // Warm the context's shared memo caches (weight function) so the timed
   // thread-count comparison measures scheduling, not first-run memoization.
-  exec::Sweep(*data.context, *data.encoded, {1}).RunSearches(taus);
+  exec::Sweep(data.context(), data.encoded(), {1}).RunSearches(taus);
   std::printf("\n--- tau-sweep (%zu searches, shared context) ---\n",
               taus.size());
   std::printf("%8s %12s %10s\n", "threads", "time(s)", "speedup");
   double serial_sweep = 0.0;
   int64_t serial_visited = -1;
   for (int t : thread_counts) {
-    exec::Sweep sweep(*data.context, *data.encoded, {t});
+    exec::Sweep sweep(data.context(), data.encoded(), {t});
     Timer timer;
     std::vector<ModifyFdsResult> results = sweep.RunSearches(taus);
     double seconds = timer.ElapsedSeconds();

@@ -1,5 +1,6 @@
 // A small command-line cleaner over CSV files — the "downstream user"
-// entry point to the library.
+// entry point to the library, built entirely on the public facade
+// (retrust::Session + Status/Result).
 //
 //   example_csv_repair_tool <file.csv> <tau_r> <fd> [<fd> ...]
 //
@@ -10,58 +11,81 @@
 //
 // Prints the chosen FD relaxation, the cell edits, and the repaired table.
 // Run with no arguments for a built-in demo.
+//
+// Exit codes (one per failure class, so scripts can branch):
+//   0  repaired
+//   1  no repair within the budget (raise tau_r)
+//   2  bad FD (parse error or schema mismatch)
+//   3  I/O error (file missing/malformed CSV)
+//   4  bad arguments (tau_r out of range, ...)
 
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
+#include "src/api/session.h"
 #include "src/relational/csv.h"
-#include "src/repair/repair_driver.h"
 
 using namespace retrust;
 
 namespace {
 
-int RunRepair(const Instance& inst, const std::vector<std::string>& fd_texts,
-              double tau_r) {
-  const Schema& schema = inst.schema();
-  FDSet sigma;
-  try {
-    sigma = FDSet::Parse(fd_texts, schema);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "bad FD: %s\n", e.what());
-    return 2;
+/// Maps a Status to the tool's exit-code classes above.
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kNoRepairWithinTau:
+    case StatusCode::kBudgetExceeded: return 1;
+    case StatusCode::kInvalidFd:
+    case StatusCode::kSchemaMismatch: return 2;
+    case StatusCode::kIoError: return 3;
+    default: return 4;
   }
+}
 
-  EncodedInstance encoded(inst);
-  DistinctCountWeight weights(encoded);
-  FdSearchContext ctx(sigma, encoded, weights);
-  int64_t root = ctx.RootDeltaP();
-  int64_t tau = TauFromRelative(tau_r, root);
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return ExitCodeFor(status);
+}
 
-  std::printf("tuples: %d   FDs: %s\n", inst.NumTuples(),
-              sigma.ToString(schema).c_str());
+int RunRepair(Result<Session> session, double tau_r) {
+  if (!session.ok()) return Fail(session.status());
+  const Schema& schema = session->schema();
+
+  int64_t root = session->RootDeltaP();
+  Result<int64_t> tau = CheckedTauFromRelative(tau_r, root);
+  if (!tau.ok()) return Fail(tau.status());
+
+  std::printf("tuples: %d   FDs: %s\n", session->instance().NumTuples(),
+              session->fds().ToString(schema).c_str());
   std::printf("cell-change budget: tau = %lld (tau_r = %.0f%% of deltaP = "
               "%lld)\n\n",
-              static_cast<long long>(tau), tau_r * 100,
+              static_cast<long long>(*tau), tau_r * 100,
               static_cast<long long>(root));
 
-  auto repair = RepairDataAndFds(ctx, encoded, tau);
-  if (!repair.has_value()) {
-    std::printf("No repair exists within %lld cell changes — the remaining "
-                "violations differ only on right-hand sides. Raise tau_r.\n",
-                static_cast<long long>(tau));
-    return 1;
+  Result<RepairResponse> response =
+      session->Repair(RepairRequest::At(*tau));
+  if (!response.ok()) {
+    if (response.status().code() == StatusCode::kNoRepairWithinTau) {
+      std::printf("No repair exists within %lld cell changes — the "
+                  "remaining violations differ only on right-hand sides. "
+                  "Raise tau_r.\n",
+                  static_cast<long long>(*tau));
+      return 1;
+    }
+    return Fail(response.status());
   }
 
+  const Repair& repair = response->repair;
   std::printf("Sigma' = %s   (distc = %.1f)\n",
-              repair->sigma_prime.ToString(schema).c_str(), repair->distc);
-  std::printf("cell edits: %zu\n", repair->changed_cells.size());
-  Instance repaired = repair->data.Decode();
-  for (const CellRef& c : repair->changed_cells) {
+              repair.sigma_prime.ToString(schema).c_str(), repair.distc);
+  std::printf("cell edits: %zu\n", repair.changed_cells.size());
+  Instance repaired = repair.data.Decode();
+  const Instance& original = session->instance();
+  for (const CellRef& c : repair.changed_cells) {
     std::printf("  row %d, %s: %s -> %s\n", c.tuple + 1,
                 schema.name(c.attr).c_str(),
-                inst.At(c.tuple, c.attr).ToString().c_str(),
+                original.At(c.tuple, c.attr).ToString().c_str(),
                 repaired.At(c.tuple, c.attr)
                     .ToString(schema.name(c.attr))
                     .c_str());
@@ -81,7 +105,7 @@ int Demo() {
       "Carol,Springfield,22222\n"
       "Dave,Shelbyville,33333\n");
   Instance inst = ReadCsv(csv);
-  return RunRepair(inst, {"City->Zip"}, 1.0);
+  return RunRepair(Session::Open(std::move(inst), {"City->Zip"}), 1.0);
 }
 
 }  // namespace
@@ -91,11 +115,5 @@ int main(int argc, char** argv) {
   double tau_r = std::atof(argv[2]);
   std::vector<std::string> fds;
   for (int i = 3; i < argc; ++i) fds.emplace_back(argv[i]);
-  try {
-    Instance inst = ReadCsvFile(argv[1]);
-    return RunRepair(inst, fds, tau_r);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
-  }
+  return RunRepair(Session::OpenCsv(argv[1], fds), tau_r);
 }

@@ -6,10 +6,10 @@
 
 #include <cstdio>
 
+#include "src/api/session.h"
 #include "src/eval/generator.h"
 #include "src/eval/perturb.h"
 #include "src/fd/discovery.h"
-#include "src/repair/repair_driver.h"
 
 using namespace retrust;
 
@@ -46,20 +46,25 @@ int main() {
   std::printf("\ninjected %zu erroneous cells\n",
               dirty.perturbed_cells.size());
 
-  EncodedInstance enc(dirty.data);
-  DistinctCountWeight weights(enc);
-  FdSearchContext ctx(dirty.fds, enc, weights);
-  int64_t root = ctx.RootDeltaP();
-  auto repair = RepairDataAndFds(ctx, enc, /*tau=*/root);
-  if (!repair.has_value()) {
-    std::printf("unexpected: no repair\n");
+  Result<Session> session = Session::Open(dirty.data, dirty.fds);
+  if (!session.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 session.status().ToString().c_str());
     return 1;
   }
+  int64_t root = session->RootDeltaP();
+  Result<RepairResponse> response =
+      session->Repair(RepairRequest::At(root));
+  if (!response.ok()) {
+    std::printf("unexpected: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  const Repair& repair = response->repair;
   std::printf("repair at tau = %lld: Sigma' = %s, %zu cells changed\n",
               static_cast<long long>(root),
-              repair->sigma_prime.ToString(schema).c_str(),
-              repair->changed_cells.size());
+              repair.sigma_prime.ToString(schema).c_str(),
+              repair.changed_cells.size());
   std::printf("repaired instance satisfies Sigma': %s\n",
-              Satisfies(repair->data, repair->sigma_prime) ? "yes" : "no");
+              Satisfies(repair.data, repair.sigma_prime) ? "yes" : "no");
   return 0;
 }

@@ -11,8 +11,7 @@
 
 #include <cstdio>
 
-#include "src/repair/multi_repair.h"
-#include "src/repair/repair_driver.h"
+#include "src/api/session.h"
 
 using namespace retrust;
 
@@ -49,25 +48,35 @@ Instance EmployeeInstance() {
 
 int main() {
   Instance inst = EmployeeInstance();
-  const Schema& schema = inst.schema();
-  FDSet sigma = FDSet::Parse({"Surname,GivenName->Income"}, schema);
-
   std::printf("Employees (Figure 1):\n%s\n", inst.ToTable().c_str());
-  std::printf("Asserted FD: %s\n\n", sigma.ToString(schema).c_str());
 
-  EncodedInstance encoded(inst);
-  CardinalityWeight weights;  // count appended attributes
+  SessionOptions opts;
+  opts.weights = WeightModel::kCardinality;  // count appended attributes
+  Result<Session> session = Session::Open(
+      std::move(inst), {"Surname,GivenName->Income"}, opts);
+  if (!session.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  const Schema& schema = session->schema();
+  std::printf("Asserted FD: %s\n\n",
+              session->fds().ToString(schema).c_str());
 
-  FdSearchContext ctx(sigma, encoded, weights);
-  int64_t root = ctx.RootDeltaP();
+  int64_t root = session->RootDeltaP();
   std::printf("deltaP(Sigma, I) = %lld (tau_r = 100%%)\n\n",
               static_cast<long long>(root));
 
   // The full relative-trust spectrum in one search (Algorithm 6).
-  MultiRepairResult multi = FindRepairsFds(ctx, 0, root);
+  Result<MultiRepairResult> multi = session->EnumerateRepairs(0, root);
+  if (!multi.ok()) {
+    std::fprintf(stderr, "enumerate failed: %s\n",
+                 multi.status().ToString().c_str());
+    return 1;
+  }
   std::printf("Distinct minimal FD repairs across tau in [0, %lld]:\n",
               static_cast<long long>(root));
-  for (const RangedFdRepair& r : multi.repairs) {
+  for (const RangedFdRepair& r : multi->repairs) {
     std::printf("  tau in [%lld, %lld]: Sigma' = %s (distc = %.0f)\n",
                 static_cast<long long>(r.tau_lo),
                 static_cast<long long>(r.tau_hi),
@@ -75,21 +84,29 @@ int main() {
                 r.repair.distc);
   }
 
-  // Materialize the two extremes plus a middle point.
+  // Materialize the two extremes plus a middle point — one batched call,
+  // fanned out on the session's sweep pool over the shared context.
+  std::vector<RepairRequest> requests;
   for (int64_t tau : {int64_t{0}, root / 2, root}) {
-    auto repair = RepairDataAndFds(ctx, encoded, tau);
-    std::printf("\n--- tau = %lld ---\n", static_cast<long long>(tau));
-    if (!repair.has_value()) {
-      std::printf("no repair\n");
+    requests.push_back(RepairRequest::At(tau));
+  }
+  std::vector<Result<RepairResponse>> responses =
+      session->RepairMany(requests);
+  for (const Result<RepairResponse>& response : responses) {
+    if (!response.ok()) {
+      std::printf("\n%s\n", response.status().ToString().c_str());
       continue;
     }
-    std::printf("Sigma' = %s\n", repair->sigma_prime.ToString(schema).c_str());
-    std::printf("cells changed: %zu\n", repair->changed_cells.size());
-    for (const CellRef& c : repair->changed_cells) {
+    const Repair& repair = response->repair;
+    std::printf("\n--- tau = %lld ---\n",
+                static_cast<long long>(response->tau));
+    std::printf("Sigma' = %s\n", repair.sigma_prime.ToString(schema).c_str());
+    std::printf("cells changed: %zu\n", repair.changed_cells.size());
+    for (const CellRef& c : repair.changed_cells) {
       std::printf("  t%d[%s]: %s -> %s\n", c.tuple + 1,
                   schema.name(c.attr).c_str(),
-                  inst.At(c.tuple, c.attr).ToString().c_str(),
-                  repair->data.DecodeCell(c.tuple, c.attr)
+                  session->instance().At(c.tuple, c.attr).ToString().c_str(),
+                  repair.data.DecodeCell(c.tuple, c.attr)
                       .ToString(schema.name(c.attr))
                       .c_str());
     }

@@ -1,5 +1,5 @@
 // Quickstart: repair a small inconsistent table under an FD at different
-// relative-trust levels.
+// relative-trust levels, through the public facade (retrust::Session).
 //
 //   build/examples/example_quickstart
 //
@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "src/repair/repair_driver.h"
+#include "src/api/session.h"
 
 using namespace retrust;
 
@@ -23,28 +23,33 @@ int main() {
   inst.AddTuple({Value("Carol"), Value("Springfield"), Value("22222")});
   inst.AddTuple({Value("Dave"), Value("Shelbyville"), Value("33333")});
 
-  // 2. State the intended semantics.
-  FDSet sigma = FDSet::Parse({"City->Zip"}, schema);
+  std::printf("Input (violates City->Zip):\n%s\n", inst.ToTable().c_str());
 
-  std::printf("Input (violates %s):\n%s\n",
-              sigma.ToString(schema).c_str(), inst.ToTable().c_str());
+  // 2. Open a session: the dataset plus the intended semantics. All
+  //    failures come back as a Status — no exceptions to catch.
+  Result<Session> session = Session::Open(std::move(inst), {"City->Zip"});
+  if (!session.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
 
   // 3. Repair at several trust levels. tau bounds the number of cell
   //    changes; tau = 0 trusts the data completely.
-  EncodedInstance encoded(inst);
-  DistinctCountWeight weights(encoded);
   for (int64_t tau : {int64_t{0}, int64_t{2}}) {
-    auto repair = RepairDataAndFds(sigma, encoded, tau, weights);
+    Result<RepairResponse> response =
+        session->Repair(RepairRequest::At(tau));
     std::printf("--- tau = %lld ---\n", static_cast<long long>(tau));
-    if (!repair.has_value()) {
-      std::printf("no repair within %lld cell changes\n\n",
-                  static_cast<long long>(tau));
+    if (!response.ok()) {
+      std::printf("%s\n\n", response.status().ToString().c_str());
       continue;
     }
+    const Repair& repair = response->repair;
     std::printf("Sigma' = %s   (distc = %.0f)\n",
-                repair->sigma_prime.ToString(schema).c_str(), repair->distc);
-    std::printf("changed cells: %zu\n%s\n", repair->changed_cells.size(),
-                repair->data.Decode().ToTable().c_str());
+                repair.sigma_prime.ToString(session->schema()).c_str(),
+                repair.distc);
+    std::printf("changed cells: %zu\n%s\n", repair.changed_cells.size(),
+                repair.data.Decode().ToTable().c_str());
   }
   return 0;
 }

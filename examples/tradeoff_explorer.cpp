@@ -2,15 +2,14 @@
 // workload: generate clean data with planted FDs, perturb both the cells
 // and the FDs, then enumerate every distinct minimal FD repair across the
 // whole trust range (Algorithm 6) and materialize + score each one — the
-// materializations run concurrently through the exec::Sweep τ-sweep API.
+// materializations run as one batched Session::RepairMany, fanned out on
+// the session's sweep pool over the shared search context.
 //
 //   build/examples/example_tradeoff_explorer
 
 #include <cstdio>
 
 #include "src/eval/experiment.h"
-#include "src/exec/sweep.h"
-#include "src/repair/multi_repair.h"
 
 using namespace retrust;
 
@@ -26,8 +25,14 @@ int main() {
   perturb.data_error_rate = 0.02;
   perturb.seed = 23;
 
-  ExperimentData data = PrepareExperiment(gen, perturb);
-  const Schema& schema = data.dirty_instance.schema();
+  // Batched requests fan out on all hardware threads.
+  exec::Options eopts;
+  eopts.num_threads = 0;
+  ExperimentData data = PrepareExperiment(gen, perturb,
+                                          WeightKind::kDistinctCount,
+                                          HeuristicOptions{}, eopts);
+  Session& session = *data.session;
+  const Schema& schema = data.dirty_instance().schema();
 
   std::printf("clean FDs : %s\n",
               data.clean.planted_fds.ToString(schema).c_str());
@@ -39,40 +44,41 @@ int main() {
   std::printf("deltaP(Sigma_d, I_d) = %lld\n\n",
               static_cast<long long>(data.root_delta_p));
 
-  MultiRepairResult frontier =
-      FindRepairsFds(*data.context, 0, data.root_delta_p);
-
-  // Materialize every frontier point concurrently: one sweep job per
-  // distinct FD repair, at the τ that discovered it (0 = hardware threads).
-  std::vector<exec::SweepJob> jobs;
-  jobs.reserve(frontier.repairs.size());
-  for (const RangedFdRepair& r : frontier.repairs) {
-    exec::SweepJob job;
-    job.tau = r.tau_hi;
-    jobs.push_back(job);
+  Result<MultiRepairResult> frontier =
+      session.EnumerateRepairs(0, data.root_delta_p);
+  if (!frontier.ok()) {
+    std::fprintf(stderr, "enumerate failed: %s\n",
+                 frontier.status().ToString().c_str());
+    return 1;
   }
-  exec::Options eopts;
-  eopts.num_threads = 0;
-  exec::Sweep sweep(*data.context, *data.encoded, eopts);
-  std::vector<exec::SweepOutcome> outcomes = sweep.RunRepairs(jobs);
+
+  // Materialize every frontier point concurrently: one request per
+  // distinct FD repair, at the τ that discovered it.
+  std::vector<RepairRequest> requests;
+  requests.reserve(frontier->repairs.size());
+  for (const RangedFdRepair& r : frontier->repairs) {
+    requests.push_back(RepairRequest::At(r.tau_hi));
+  }
+  std::vector<Result<RepairResponse>> responses =
+      session.RepairMany(requests);
 
   std::printf("%-42s %10s %10s %10s %10s\n", "Sigma'", "distc", "tau range",
               "cells", "combinedF");
-  for (size_t i = 0; i < frontier.repairs.size(); ++i) {
-    const RangedFdRepair& r = frontier.repairs[i];
-    const std::optional<Repair>& repair = outcomes[i].repair;
-    if (!repair.has_value()) continue;
-    RepairQuality q = ScoreRepair(data, *repair);
+  for (size_t i = 0; i < frontier->repairs.size(); ++i) {
+    const RangedFdRepair& r = frontier->repairs[i];
+    if (!responses[i].ok()) continue;
+    const Repair& repair = responses[i]->repair;
+    RepairQuality q = ScoreRepair(data, repair);
     char range[32];
     std::snprintf(range, sizeof(range), "[%lld,%lld]",
                   static_cast<long long>(r.tau_lo),
                   static_cast<long long>(r.tau_hi));
     std::printf("%-42s %10.0f %10s %10zu %10.3f\n",
                 r.repair.sigma_prime.ToString(schema).c_str(),
-                r.repair.distc, range, repair->changed_cells.size(),
+                r.repair.distc, range, repair.changed_cells.size(),
                 q.CombinedF());
   }
   std::printf("\n(states visited by the range search: %lld)\n",
-              static_cast<long long>(frontier.stats.states_visited));
+              static_cast<long long>(frontier->stats.states_visited));
   return 0;
 }

@@ -1,0 +1,381 @@
+#include "src/api/session.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/relational/csv.h"
+#include "src/repair/weights.h"
+#include "src/util/hash.h"
+#include "src/util/timer.h"
+
+namespace retrust {
+
+namespace {
+
+/// Cache key of a context: everything FdSearchContext construction consumes
+/// besides the (fixed) dataset. Collisions are disambiguated by the Σ
+/// equality probe in BundleFor.
+uint64_t Fingerprint(const FDSet& sigma, const SessionOptions& opts) {
+  uint64_t seed = 0x5e55104eULL;  // "session"
+  for (const FD& fd : sigma.fds()) {
+    HashCombine(&seed, fd.lhs.bits());
+    HashCombine(&seed, static_cast<uint64_t>(static_cast<uint32_t>(fd.rhs)));
+  }
+  HashCombine(&seed, static_cast<uint64_t>(opts.weights));
+  HashCombine(&seed, static_cast<uint64_t>(opts.heuristic.max_diffsets));
+  HashCombine(&seed, static_cast<uint64_t>(opts.heuristic.max_nodes));
+  HashCombine(&seed, opts.heuristic.strict_leave_check ? 1u : 0u);
+  HashCombine(&seed, static_cast<uint64_t>(opts.exec.ResolvedThreads()));
+  return seed;
+}
+
+Status NoRepairStatus(SearchTermination termination, int64_t tau) {
+  switch (termination) {
+    case SearchTermination::kCancelled:
+      return Status::Error(StatusCode::kCancelled,
+                           "request cancelled before a repair was found");
+    case SearchTermination::kVisitBudget:
+      return Status::Error(StatusCode::kBudgetExceeded,
+                           "visit budget exhausted before a repair was found");
+    case SearchTermination::kDeadline:
+      return Status::Error(StatusCode::kBudgetExceeded,
+                           "deadline expired before a repair was found");
+    case SearchTermination::kCompleted:
+      break;
+  }
+  return Status::Error(
+      StatusCode::kNoRepairWithinTau,
+      "no relaxation of the FDs admits a repair with at most " +
+          std::to_string(tau) + " cell changes");
+}
+
+Result<FDSet> ParseFds(const std::vector<std::string>& fd_texts,
+                       const Schema& schema) {
+  try {
+    return FDSet::Parse(fd_texts, schema);
+  } catch (const std::exception& e) {
+    return Status::Error(StatusCode::kInvalidFd, e.what());
+  }
+}
+
+}  // namespace
+
+Result<int64_t> CheckedTauFromRelative(double tau_r, int64_t root_delta_p) {
+  if (std::isnan(tau_r) || tau_r < 0.0 || tau_r > 1.0) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "tau_r must be in [0, 1], got " +
+                             std::to_string(tau_r));
+  }
+  if (root_delta_p < 0) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "root_delta_p must be >= 0, got " +
+                             std::to_string(root_delta_p));
+  }
+  return TauFromRelative(tau_r, root_delta_p);
+}
+
+Session::Session(Instance data, SessionOptions opts)
+    : instance_(std::make_unique<Instance>(std::move(data))),
+      encoded_(std::make_unique<EncodedInstance>(*instance_)),
+      opts_(opts),
+      mu_(std::make_unique<std::mutex>()) {}
+
+Result<Session> Session::Open(Instance data, FDSet sigma,
+                              SessionOptions opts) {
+  Session session(std::move(data), std::move(opts));
+  Status status = session.SetFds(std::move(sigma));
+  if (!status.ok()) return status;
+  return session;
+}
+
+Result<Session> Session::Open(Instance data,
+                              const std::vector<std::string>& fd_texts,
+                              SessionOptions opts) {
+  Result<FDSet> sigma = ParseFds(fd_texts, data.schema());
+  if (!sigma.ok()) return sigma.status();
+  return Open(std::move(data), std::move(*sigma), std::move(opts));
+}
+
+Result<Session> Session::OpenCsv(const std::string& path,
+                                 const std::vector<std::string>& fd_texts,
+                                 SessionOptions opts) {
+  try {
+    Instance data = ReadCsvFile(path);
+    return Open(std::move(data), fd_texts, std::move(opts));
+  } catch (const std::exception& e) {
+    return Status::Error(StatusCode::kIoError, e.what());
+  }
+}
+
+Status Session::Validate(const FDSet& sigma) const {
+  const int m = encoded_->NumAttrs();
+  const AttrSet universe = AttrSet::Universe(m);
+  for (int i = 0; i < sigma.size(); ++i) {
+    const FD& fd = sigma.fd(i);
+    if (fd.rhs < 0 || fd.rhs >= m || !fd.lhs.SubsetOf(universe)) {
+      return Status::Error(StatusCode::kSchemaMismatch,
+                           "FD " + fd.ToString() +
+                               " references attributes outside the " +
+                               std::to_string(m) + "-attribute schema");
+    }
+    if (fd.IsTrivial()) {
+      return Status::Error(StatusCode::kInvalidFd,
+                           "FD " + fd.ToString() +
+                               " is trivial (RHS contained in LHS)");
+    }
+  }
+  return Status::Ok();
+}
+
+const WeightFunction& Session::WeightFor(WeightModel model) {
+  std::unique_ptr<WeightFunction>& slot = weight_cache_[static_cast<int>(model)];
+  if (slot == nullptr) {
+    switch (model) {
+      case WeightModel::kDistinctCount:
+        slot = std::make_unique<DistinctCountWeight>(*encoded_);
+        break;
+      case WeightModel::kCardinality:
+        slot = std::make_unique<CardinalityWeight>();
+        break;
+      case WeightModel::kEntropy:
+        slot = std::make_unique<EntropyWeight>(*encoded_);
+        break;
+    }
+  }
+  return *slot;
+}
+
+std::shared_ptr<Session::ContextBundle> Session::BundleFor(FDSet sigma) {
+  const uint64_t fp = Fingerprint(sigma, opts_);
+  std::lock_guard<std::mutex> lock(*mu_);
+  const WeightFunction* weights = &WeightFor(opts_.weights);
+  std::vector<std::shared_ptr<ContextBundle>>& bucket = cache_[fp];
+  // Σ/weights equality disambiguates genuine 64-bit collisions.
+  for (const std::shared_ptr<ContextBundle>& bundle : bucket) {
+    if (bundle->sigma == sigma && bundle->weights == weights) {
+      active_fingerprint_ = fp;
+      return bundle;
+    }
+  }
+  auto bundle = std::make_shared<ContextBundle>();
+  bundle->sigma = std::move(sigma);
+  bundle->weights = weights;
+  bundle->context = std::make_unique<FdSearchContext>(
+      bundle->sigma, *encoded_, *bundle->weights, opts_.heuristic,
+      opts_.exec);
+  bundle->sweep =
+      std::make_unique<exec::Sweep>(*bundle->context, *encoded_, opts_.exec);
+  bundle->root_delta_p = bundle->context->RootDeltaP();
+  bucket.push_back(bundle);
+  active_fingerprint_ = fp;
+  return bundle;
+}
+
+Status Session::SetFds(FDSet sigma) {
+  Status status = Validate(sigma);
+  if (!status.ok()) return status;
+  try {
+    active_ = BundleFor(std::move(sigma));
+  } catch (const std::exception& e) {
+    return Status::Error(StatusCode::kInternal, e.what());
+  }
+  return Status::Ok();
+}
+
+Status Session::SetFds(const std::vector<std::string>& fd_texts) {
+  Result<FDSet> sigma = ParseFds(fd_texts, schema());
+  if (!sigma.ok()) return sigma.status();
+  return SetFds(std::move(*sigma));
+}
+
+Status Session::SetWeights(WeightModel weights) {
+  FDSet sigma = active_->sigma;
+  WeightModel previous = opts_.weights;
+  opts_.weights = weights;
+  Status status = SetFds(std::move(sigma));
+  if (!status.ok()) opts_.weights = previous;  // failed switch changes nothing
+  return status;
+}
+
+Result<int64_t> Session::ResolveTau(const RepairRequest& req) const {
+  if (req.tau >= 0) return req.tau;
+  if (req.tau_r == -1.0) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "request sets neither tau nor tau_r");
+  }
+  return CheckedTauFromRelative(req.tau_r, RootDeltaP());
+}
+
+ModifyFdsOptions Session::SearchOptions(const RepairRequest& req) const {
+  ModifyFdsOptions opts;
+  opts.mode = req.mode;
+  opts.heuristic = opts_.heuristic;
+  opts.max_visited = req.budget;
+  opts.deadline_seconds = req.deadline_seconds;
+  opts.cancel = req.cancel;
+  // opts.exec stays serial: SessionOptions::exec parallelizes ACROSS
+  // batched requests (and shards context builds), never inside one
+  // search — the same composition rule exec::Sweep applies to its jobs.
+  return opts;
+}
+
+Result<RepairResponse> Session::Repair(const RepairRequest& req) const {
+  Result<int64_t> tau = ResolveTau(req);
+  if (!tau.ok()) return tau.status();
+  try {
+    Timer timer;
+    RepairOptions opts;
+    opts.search = SearchOptions(req);
+    opts.seed = req.seed;
+    RepairOutcome outcome =
+        RunRepair(*active_->context, *encoded_, *tau, opts);
+    if (!outcome.repair.has_value()) {
+      return NoRepairStatus(outcome.termination, *tau);
+    }
+    RepairResponse response;
+    response.repair = std::move(*outcome.repair);
+    response.tau = *tau;
+    response.seconds = timer.ElapsedSeconds();
+    response.termination = outcome.termination;
+    return response;
+  } catch (const std::exception& e) {
+    return Status::Error(StatusCode::kInternal, e.what());
+  }
+}
+
+template <typename Response, typename Job, typename MakeJob, typename RunJobs,
+          typename SlotOutcome>
+std::vector<Result<Response>> Session::RunBatch(
+    std::span<const RepairRequest> reqs, MakeJob make_job, RunJobs run,
+    SlotOutcome slot) const {
+  std::vector<std::optional<Result<Response>>> slots(reqs.size());
+  std::vector<Job> jobs;
+  std::vector<size_t> owner;  // job index -> request index
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    Result<int64_t> tau = ResolveTau(reqs[i]);
+    if (!tau.ok()) {
+      slots[i].emplace(tau.status());
+      continue;
+    }
+    jobs.push_back(make_job(reqs[i], *tau));
+    owner.push_back(i);
+  }
+  try {
+    auto outcomes = run(jobs);
+    for (size_t j = 0; j < outcomes.size(); ++j) {
+      slots[owner[j]].emplace(slot(std::move(outcomes[j]), jobs[j]));
+    }
+  } catch (const std::exception& e) {
+    for (size_t j : owner) {
+      slots[j].emplace(
+          Result<Response>(Status::Error(StatusCode::kInternal, e.what())));
+    }
+  }
+  std::vector<Result<Response>> results;
+  results.reserve(slots.size());
+  for (std::optional<Result<Response>>& s : slots) {
+    results.push_back(std::move(*s));
+  }
+  return results;
+}
+
+std::vector<Result<RepairResponse>> Session::RepairMany(
+    std::span<const RepairRequest> reqs) const {
+  return RunBatch<RepairResponse, exec::SweepJob>(
+      reqs,
+      [this](const RepairRequest& req, int64_t tau) {
+        exec::SweepJob job;
+        job.tau = tau;
+        job.opts.search = SearchOptions(req);
+        job.opts.seed = req.seed;
+        return job;
+      },
+      [this](const std::vector<exec::SweepJob>& jobs) {
+        return active_->sweep->RunRepairs(jobs);
+      },
+      [](exec::SweepOutcome out,
+         const exec::SweepJob&) -> Result<RepairResponse> {
+        if (!out.repair.has_value()) {
+          return NoRepairStatus(out.termination, out.tau);
+        }
+        RepairResponse response;
+        response.repair = std::move(*out.repair);
+        response.tau = out.tau;
+        response.seconds = out.seconds;
+        response.termination = out.termination;
+        return response;
+      });
+}
+
+Result<SearchProbe> Session::Search(const RepairRequest& req) const {
+  Result<int64_t> tau = ResolveTau(req);
+  if (!tau.ok()) return tau.status();
+  try {
+    Timer timer;
+    SearchProbe probe;
+    probe.tau = *tau;
+    probe.result = ModifyFds(*active_->context, *tau, SearchOptions(req));
+    probe.seconds = timer.ElapsedSeconds();
+    return probe;
+  } catch (const std::exception& e) {
+    return Status::Error(StatusCode::kInternal, e.what());
+  }
+}
+
+std::vector<Result<SearchProbe>> Session::SearchMany(
+    std::span<const RepairRequest> reqs) const {
+  return RunBatch<SearchProbe, exec::SearchJob>(
+      reqs,
+      [this](const RepairRequest& req, int64_t tau) {
+        exec::SearchJob job;
+        job.tau = tau;
+        job.opts = SearchOptions(req);
+        return job;
+      },
+      [this](const std::vector<exec::SearchJob>& jobs) {
+        return active_->sweep->RunSearches(jobs);
+      },
+      [](ModifyFdsResult out, const exec::SearchJob& job) -> Result<SearchProbe> {
+        SearchProbe probe;
+        probe.tau = job.tau;
+        probe.seconds = out.stats.seconds;
+        probe.result = std::move(out);
+        return probe;
+      });
+}
+
+Result<MultiRepairResult> Session::EnumerateRepairs(int64_t tau_lo,
+                                                    int64_t tau_hi) const {
+  if (tau_lo < 0 || tau_lo > tau_hi) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "need 0 <= tau_lo <= tau_hi, got [" +
+                             std::to_string(tau_lo) + ", " +
+                             std::to_string(tau_hi) + "]");
+  }
+  try {
+    ModifyFdsOptions opts;
+    opts.heuristic = opts_.heuristic;
+    return FindRepairsFds(*active_->context, tau_lo, tau_hi, opts);
+  } catch (const std::exception& e) {
+    return Status::Error(StatusCode::kInternal, e.what());
+  }
+}
+
+int64_t Session::RootDeltaP() const { return active_->root_delta_p; }
+
+const FDSet& Session::fds() const { return active_->sigma; }
+
+const FdSearchContext& Session::context() const { return *active_->context; }
+
+const WeightFunction& Session::weights() const { return *active_->weights; }
+
+uint64_t Session::ContextFingerprint() const { return active_fingerprint_; }
+
+size_t Session::CachedContexts() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  size_t n = 0;
+  for (const auto& [fp, bucket] : cache_) n += bucket.size();
+  return n;
+}
+
+}  // namespace retrust

@@ -1,0 +1,240 @@
+// retrust::Session — the library's public entry point.
+//
+// Algorithm 1 is a service-shaped computation: one τ-independent context
+// (conflict graph, difference-set index, violation table, cover memo)
+// answers many (τ, options) repair requests. A Session owns that shape so
+// callers do not wire it by hand: it holds the dataset and Σ, builds the
+// FdSearchContext lazily per (Σ, weights, heuristic, exec) fingerprint, and
+// keeps every context it ever built in a cache — switching Σ back and forth
+// (SetFds) reuses the warm violation table and cover memo exactly like the
+// τ jobs of an exec::Sweep do.
+//
+// All failures surface through the Status/Result<T> model (status.h); the
+// facade translates internal exceptions and optionals at the boundary, so
+// Session callers never need a try/catch.
+//
+// Layering (DESIGN.md "Public API layering"): api/ sits on top of repair/
+// and exec/'s Sweep scheduler; everything below api/ stays exception/
+// optional-based and remains the internal layer the facade calls.
+//
+// Thread safety: const methods (Repair, RepairMany, Search, ...) are safe
+// to call concurrently — batched requests additionally fan out on the
+// session's own exec::Sweep pool. The mutating methods (SetFds, SetWeights)
+// require external exclusion against everything else, like any C++ object.
+
+#ifndef RETRUST_API_SESSION_H_
+#define RETRUST_API_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/api/status.h"
+#include "src/exec/cancel.h"
+#include "src/exec/sweep.h"
+#include "src/repair/multi_repair.h"
+
+namespace retrust {
+
+/// Which w(Y) weighting the session's distc uses (weights.h).
+enum class WeightModel { kDistinctCount, kCardinality, kEntropy };
+
+/// Session-wide configuration, part of the context-cache fingerprint.
+struct SessionOptions {
+  WeightModel weights = WeightModel::kDistinctCount;
+  HeuristicOptions heuristic;
+  /// Shards context construction AND sizes the pool batched requests
+  /// (RepairMany/SearchMany) fan out on. Results are bit-identical for any
+  /// thread count (DESIGN.md).
+  exec::Options exec;
+};
+
+/// One repair request. Exactly one of `tau` (absolute cell-change budget)
+/// or `tau_r` (relative trust in [0, 1], resolved against the session's
+/// root δP) must be set; use At()/AtRelative().
+struct RepairRequest {
+  int64_t tau = -1;     ///< absolute τ; negative = use tau_r
+  double tau_r = -1.0;  ///< relative τr; ignored when tau >= 0
+  SearchMode mode = SearchMode::kAStar;
+  uint64_t seed = 1;    ///< drives Algorithm 4's random orders
+  /// Visit budget for the search (0 = unlimited). Exceeding it without a
+  /// repair fails the request with kBudgetExceeded.
+  int64_t budget = 0;
+  /// Wall-clock deadline in seconds (0 = none); kBudgetExceeded on expiry.
+  double deadline_seconds = 0.0;
+  /// Optional cooperative cancellation; kCancelled when it fires first.
+  /// Not owned — must outlive the request's execution.
+  const exec::CancelToken* cancel = nullptr;
+
+  static RepairRequest At(int64_t tau) {
+    RepairRequest r;
+    r.tau = tau;
+    return r;
+  }
+  static RepairRequest AtRelative(double tau_r) {
+    RepairRequest r;
+    r.tau_r = tau_r;
+    return r;
+  }
+};
+
+/// A successful end-to-end repair (Algorithm 1).
+struct RepairResponse {
+  Repair repair;        ///< (Σ', I') plus stats (repair.stats)
+  int64_t tau = 0;      ///< the resolved absolute τ this ran at
+  double seconds = 0.0; ///< wall-clock of this request
+  /// Why the search stopped. Only kCompleted guarantees the repair is
+  /// cost-minimal; a budget/deadline/cancel interruption that already
+  /// held a τ-feasible repair returns it with the interruption recorded
+  /// here, so truncated answers are detectable.
+  SearchTermination termination = SearchTermination::kCompleted;
+};
+
+/// A search probe (Algorithm 2 only, no data materialization): the
+/// diagnostic/benchmark companion to Repair(). A probe REPORTS whatever
+/// the search did — "no relaxation fits τ", a budget cut, a cancellation —
+/// through `result.repair`/`result.termination` and always carries the
+/// stats; only a malformed request fails the Result.
+struct SearchProbe {
+  ModifyFdsResult result;
+  int64_t tau = 0;
+  double seconds = 0.0;
+};
+
+/// τ = round(τr · root_delta_p), rejecting what TauFromRelative clamps:
+/// τr outside [0, 1] (or NaN) and a negative root bound come back as
+/// kInvalidArgument. root_delta_p == 0 maps every valid τr to 0.
+Result<int64_t> CheckedTauFromRelative(double tau_r, int64_t root_delta_p);
+
+class Session {
+ public:
+  /// Opens a session over `data` with a pre-built Σ. Fails with
+  /// kSchemaMismatch when an FD references attributes outside the schema
+  /// and kInvalidFd when one is trivial (A ∈ X). Builds the initial
+  /// context eagerly, so RootDeltaP() is immediately available.
+  static Result<Session> Open(Instance data, FDSet sigma,
+                              SessionOptions opts = {});
+
+  /// Same, parsing Σ from texts like {"City->Zip"}; parse failures come
+  /// back as kInvalidFd.
+  static Result<Session> Open(Instance data,
+                              const std::vector<std::string>& fd_texts,
+                              SessionOptions opts = {});
+
+  /// Same, reading the dataset from a CSV file (kIoError on failure).
+  static Result<Session> OpenCsv(const std::string& path,
+                                 const std::vector<std::string>& fd_texts,
+                                 SessionOptions opts = {});
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Switches the active Σ (validated like Open). A fingerprint seen
+  /// before — including the one Open built — reuses its cached context,
+  /// warm cover memo included.
+  Status SetFds(FDSet sigma);
+  Status SetFds(const std::vector<std::string>& fd_texts);
+
+  /// Switches the weight model (same context-cache semantics as SetFds).
+  Status SetWeights(WeightModel weights);
+
+  /// Algorithm 1 at the request's τ. Error codes: kInvalidArgument (no τ,
+  /// τr out of range), kNoRepairWithinTau, kBudgetExceeded, kCancelled.
+  /// An interrupted request that already holds a τ-feasible repair returns
+  /// it (the repair is valid, possibly not cost-minimal).
+  Result<RepairResponse> Repair(const RepairRequest& req) const;
+
+  /// Batched Algorithm 1: all requests run concurrently on the session's
+  /// exec::Sweep over the one shared context; outcomes in request order.
+  std::vector<Result<RepairResponse>> RepairMany(
+      std::span<const RepairRequest> reqs) const;
+
+  /// Algorithm 2 probe (no data repair pass); see SearchProbe.
+  Result<SearchProbe> Search(const RepairRequest& req) const;
+
+  /// Batched probes through the same sweep scheduler, in request order.
+  std::vector<Result<SearchProbe>> SearchMany(
+      std::span<const RepairRequest> reqs) const;
+
+  /// Algorithm 6 (Range-Repair): every distinct minimal FD repair for
+  /// τ ∈ [tau_lo, tau_hi]. kInvalidArgument unless 0 <= tau_lo <= tau_hi.
+  Result<MultiRepairResult> EnumerateRepairs(int64_t tau_lo,
+                                             int64_t tau_hi) const;
+
+  /// δP(Σ, I) of the active Σ — the root bound; τr = 1 resolves to this.
+  int64_t RootDeltaP() const;
+
+  const Instance& instance() const { return *instance_; }
+  const Schema& schema() const { return instance_->schema(); }
+  const FDSet& fds() const;
+  const SessionOptions& options() const { return opts_; }
+
+  /// Fingerprint of the active (Σ, weights, heuristic, exec) context and
+  /// the number of distinct contexts this session has built — observable
+  /// cache behavior for tests and ops dashboards.
+  uint64_t ContextFingerprint() const;
+  size_t CachedContexts() const;
+
+  /// Internal-layer escape hatches for the eval/ harness and benchmarks:
+  /// the encoded dataset, the active search context, and its weights.
+  /// Everything reachable from here is const and thread-safe, but the
+  /// types are NOT part of the stable facade surface.
+  const EncodedInstance& data() const { return *encoded_; }
+  const FdSearchContext& context() const;
+  const WeightFunction& weights() const;
+
+ private:
+  /// One cached context: Σ plus everything derived from it. The weight
+  /// function is shared across bundles of the same model (its memo is
+  /// instance-wide), the sweep reuses one pool across batched calls.
+  struct ContextBundle {
+    FDSet sigma;
+    const WeightFunction* weights = nullptr;  ///< owned by weight_cache_
+    std::unique_ptr<FdSearchContext> context;
+    std::unique_ptr<exec::Sweep> sweep;
+    int64_t root_delta_p = 0;
+  };
+
+  Session(Instance data, SessionOptions opts);
+
+  Status Validate(const FDSet& sigma) const;
+  const WeightFunction& WeightFor(WeightModel model);
+  /// Returns the cached bundle for (sigma, opts_) or builds and caches it.
+  std::shared_ptr<ContextBundle> BundleFor(FDSet sigma);
+  Result<int64_t> ResolveTau(const RepairRequest& req) const;
+  ModifyFdsOptions SearchOptions(const RepairRequest& req) const;
+
+  /// Shared skeleton of RepairMany/SearchMany: resolve every request's τ
+  /// (invalid ones fail their slot without running), run the valid jobs
+  /// through the sweep, re-slot outcomes in request order; an escaped
+  /// internal exception fails the affected slots with kInternal.
+  template <typename Response, typename Job, typename MakeJob,
+            typename RunJobs, typename SlotOutcome>
+  std::vector<Result<Response>> RunBatch(std::span<const RepairRequest> reqs,
+                                         MakeJob make_job, RunJobs run,
+                                         SlotOutcome slot) const;
+
+  std::unique_ptr<Instance> instance_;        ///< heap-pinned: encoded_ is
+  std::unique_ptr<EncodedInstance> encoded_;  ///< referenced by weights
+  SessionOptions opts_;
+  std::map<int, std::unique_ptr<WeightFunction>> weight_cache_;
+  uint64_t active_fingerprint_ = 0;
+  std::shared_ptr<ContextBundle> active_;
+  /// Guards cache_ (BundleFor may be reached from const batched paths in
+  /// future extensions); heap-pinned so Session stays movable.
+  std::unique_ptr<std::mutex> mu_;
+  /// Buckets keyed by the raw fingerprint; entries within a bucket are
+  /// disambiguated by Σ/weights equality, so erasing any entry (the
+  /// ROADMAP's eviction follow-on) can never orphan another.
+  std::map<uint64_t, std::vector<std::shared_ptr<ContextBundle>>> cache_;
+};
+
+}  // namespace retrust
+
+#endif  // RETRUST_API_SESSION_H_

@@ -1,0 +1,30 @@
+#include "src/api/status.h"
+
+namespace retrust {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kInvalidFd: return "invalid_fd";
+    case StatusCode::kSchemaMismatch: return "schema_mismatch";
+    case StatusCode::kNoRepairWithinTau: return "no_repair_within_tau";
+    case StatusCode::kBudgetExceeded: return "budget_exceeded";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string s = StatusCodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace retrust

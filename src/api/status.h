@@ -1,0 +1,99 @@
+// The public error model of the facade layer (src/api/): a small
+// Status/Result<T> pair replacing the exceptions-or-nullopt split the
+// internal layers use.
+//
+// Internal layers (repair/, fd/, relational/) keep their native idioms —
+// std::optional for "no such thing", exceptions for programming errors —
+// and the facade translates both into Status at the boundary, so callers
+// of retrust::Session never need a try/catch and never lose the reason a
+// request failed.
+
+#ifndef RETRUST_API_STATUS_H_
+#define RETRUST_API_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace retrust {
+
+/// Canonical error space of the public API.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,     ///< malformed request (τr out of range, no τ set, ...)
+  kInvalidFd,           ///< an FD failed to parse or is trivial
+  kSchemaMismatch,      ///< an FD references attributes outside the schema
+  kNoRepairWithinTau,   ///< Algorithm 2 proved no relaxation fits the budget
+  kBudgetExceeded,      ///< visit budget or deadline expired before an answer
+  kCancelled,           ///< the request's CancelToken fired
+  kIoError,             ///< dataset could not be read/written
+  kInternal,            ///< an internal-layer exception escaped (bug)
+};
+
+/// Stable lowercase name of a code, e.g. "invalid_fd".
+const char* StatusCodeName(StatusCode code);
+
+/// An error code plus a human-readable message. Default-constructed and
+/// Ok() statuses compare ok(); everything else carries a nonempty reason.
+class Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(StatusCode code, std::string message) {
+    assert(code != StatusCode::kOk);
+    return Status(code, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "invalid_fd: bad FD ..." (or "ok").
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or the Status explaining its absence. Implicitly
+/// constructible from both, so functions `return value;` on success and
+/// `return Status::Error(...);` on failure.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT: same
+    assert(!status_.ok() && "ok Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value access requires ok() — checked in debug builds.
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace retrust
+
+#endif  // RETRUST_API_STATUS_H_

@@ -1,5 +1,7 @@
 #include "src/eval/experiment.h"
 
+#include <stdexcept>
+
 namespace retrust {
 
 ExperimentData PrepareExperiment(const CensusConfig& gen,
@@ -10,28 +12,25 @@ ExperimentData PrepareExperiment(const CensusConfig& gen,
   ExperimentData data;
   data.clean = GenerateCensusLike(gen);
   data.dirty = Perturb(data.clean.instance, data.clean.planted_fds, perturb);
-  data.dirty_instance = data.dirty.data;
-  data.encoded = std::make_unique<EncodedInstance>(data.dirty_instance);
-  switch (weights) {
-    case WeightKind::kDistinctCount:
-      data.weights = std::make_unique<DistinctCountWeight>(*data.encoded);
-      break;
-    case WeightKind::kCardinality:
-      data.weights = std::make_unique<CardinalityWeight>();
-      break;
-    case WeightKind::kEntropy:
-      data.weights = std::make_unique<EntropyWeight>(*data.encoded);
-      break;
+  SessionOptions sopts;
+  sopts.weights = weights;
+  sopts.heuristic = hopts;
+  sopts.exec = eopts;
+  Result<Session> session =
+      Session::Open(data.dirty.data, data.dirty.fds, sopts);
+  // Generated Σd is always well-formed; a failure here is harness misuse.
+  if (!session.ok()) {
+    throw std::runtime_error("PrepareExperiment: " +
+                             session.status().ToString());
   }
-  data.context = std::make_unique<FdSearchContext>(
-      data.dirty.fds, *data.encoded, *data.weights, hopts, eopts);
-  data.root_delta_p = data.context->RootDeltaP();
+  data.session = std::make_unique<Session>(std::move(*session));
+  data.root_delta_p = data.session->RootDeltaP();
   return data;
 }
 
 RepairQuality ScoreRepair(const ExperimentData& data, const Repair& repair) {
   RepairQuality q;
-  q.data = EvaluateDataRepair(data.clean.instance, data.dirty_instance,
+  q.data = EvaluateDataRepair(data.clean.instance, data.dirty_instance(),
                               repair.data.Decode());
   q.fd = EvaluateFdRepair(repair.extensions, data.dirty.removed_lhs);
   return q;
@@ -41,17 +40,17 @@ ExperimentRun RunRepairAt(const ExperimentData& data, double tau_r,
                           SearchMode mode, uint64_t seed) {
   ExperimentRun run;
   run.tau = TauFromRelative(tau_r, data.root_delta_p);
-  RepairOptions opts;
-  opts.search.mode = mode;
-  opts.seed = seed;
-  std::optional<Repair> repair =
-      RepairDataAndFds(*data.context, *data.encoded, run.tau, opts);
-  if (!repair.has_value()) return run;
+  RepairRequest req = RepairRequest::At(run.tau);
+  req.mode = mode;
+  req.seed = seed;
+  Result<RepairResponse> response = data.session->Repair(req);
+  if (!response.ok()) return run;
+  Repair repair = std::move(response->repair);
   run.repaired = true;
-  run.stats = repair->stats;
-  run.distc = repair->distc;
-  run.cells_changed = static_cast<int64_t>(repair->changed_cells.size());
-  run.quality = ScoreRepair(data, *repair);
+  run.stats = repair.stats;
+  run.distc = repair.distc;
+  run.cells_changed = static_cast<int64_t>(repair.changed_cells.size());
+  run.quality = ScoreRepair(data, repair);
   run.repair = std::move(repair);
   return run;
 }
@@ -60,7 +59,7 @@ ExperimentRun RunUnifiedCost(const ExperimentData& data,
                              const UnifiedCostOptions& opts) {
   ExperimentRun run;
   Repair repair =
-      UnifiedCostRepair(data.dirty.fds, *data.encoded, *data.weights, opts);
+      UnifiedCostRepair(data.dirty.fds, data.encoded(), data.weights(), opts);
   run.repaired = true;
   run.stats = repair.stats;
   run.distc = repair.distc;

@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "src/api/session.h"
 #include "src/eval/generator.h"
 #include "src/eval/metrics.h"
 #include "src/eval/perturb.h"
@@ -15,22 +16,25 @@
 
 namespace retrust {
 
-/// Which w(Y) to use.
-enum class WeightKind { kDistinctCount, kCardinality, kEntropy };
+/// Which w(Y) to use — the facade's weight-model enum under the
+/// harness's historical name.
+using WeightKind = WeightModel;
 
 /// Everything a repair experiment needs, prepared once and reused across
-/// τ sweeps / search modes.
+/// τ sweeps / search modes. The repair wiring (Id copy, encoding, weights,
+/// search context, sweep pool) lives inside `session` — the same facade
+/// downstream users get; the accessors below reach through it for the
+/// kernels the micro benchmarks and determinism tests drive directly.
 struct ExperimentData {
   GeneratedData clean;          ///< Ic, Σc
   PerturbedData dirty;          ///< Id, Σd + ground truth
-  Instance dirty_instance;      ///< alias of dirty.data (kept for clarity)
-  /// Encoding of Id (the algorithm input). Heap-pinned: `weights` and
-  /// `context` hold references into it, which must survive moves of this
-  /// struct (e.g. storing ExperimentData in containers).
-  std::unique_ptr<EncodedInstance> encoded;
-  std::unique_ptr<WeightFunction> weights;
-  std::unique_ptr<FdSearchContext> context;  ///< Σd/Id search context
+  std::unique_ptr<Session> session;  ///< facade over (Id, Σd)
   int64_t root_delta_p = 0;     ///< δP(Σd, Id): τr = 100% maps here
+
+  const Instance& dirty_instance() const { return session->instance(); }
+  const EncodedInstance& encoded() const { return session->data(); }
+  const FdSearchContext& context() const { return session->context(); }
+  const WeightFunction& weights() const { return session->weights(); }
 };
 
 /// Generates, perturbs, encodes, and builds the search context. `eopts`

@@ -20,7 +20,10 @@ std::vector<SweepOutcome> Sweep::RunRepairs(
       Timer timer;
       SweepOutcome& out = outcomes[i];
       out.tau = job.tau;
-      out.repair = RepairDataAndFds(ctx_, inst_, job.tau, opts);
+      RepairOutcome run = RunRepair(ctx_, inst_, job.tau, opts);
+      out.repair = std::move(run.repair);
+      out.stats = run.stats;
+      out.termination = run.termination;
       out.seconds = timer.ElapsedSeconds();
     });
   }
@@ -30,13 +33,23 @@ std::vector<SweepOutcome> Sweep::RunRepairs(
 
 std::vector<ModifyFdsResult> Sweep::RunSearches(
     const std::vector<int64_t>& taus, const ModifyFdsOptions& opts) const {
-  std::vector<ModifyFdsResult> results(taus.size());
-  ModifyFdsOptions job_opts = opts;
-  job_opts.exec = Options{};  // jobs are the unit of parallelism
-  TaskGroup group(pool_.get());
+  std::vector<SearchJob> jobs(taus.size());
   for (size_t i = 0; i < taus.size(); ++i) {
-    group.Run([this, &taus, &results, &job_opts, i] {
-      results[i] = ModifyFds(ctx_, taus[i], job_opts);
+    jobs[i].tau = taus[i];
+    jobs[i].opts = opts;
+  }
+  return RunSearches(jobs);
+}
+
+std::vector<ModifyFdsResult> Sweep::RunSearches(
+    const std::vector<SearchJob>& jobs) const {
+  std::vector<ModifyFdsResult> results(jobs.size());
+  TaskGroup group(pool_.get());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    group.Run([this, &jobs, &results, i] {
+      ModifyFdsOptions opts = jobs[i].opts;
+      opts.exec = Options{};  // jobs are the unit of parallelism
+      results[i] = ModifyFds(ctx_, jobs[i].tau, opts);
     });
   }
   group.Wait();

@@ -37,11 +37,21 @@ struct SweepJob {
   RepairOptions opts;
 };
 
-/// Outcome of one job, in job order.
+/// Outcome of one job, in job order. `stats` and `termination` are filled
+/// even when no repair exists (budget, deadline, cancellation, or a proven
+/// no-goal) — the api/ facade's Status mapping depends on that.
 struct SweepOutcome {
   int64_t tau = 0;
   std::optional<Repair> repair;
+  SearchStats stats;
+  SearchTermination termination = SearchTermination::kCompleted;
   double seconds = 0.0;  ///< wall-clock of this job alone
+};
+
+/// One search-only job (Algorithm 2, no data materialization).
+struct SearchJob {
+  int64_t tau = 0;
+  ModifyFdsOptions opts;
 };
 
 /// Scheduler over one shared (Σ, I) search context. The context and the
@@ -62,6 +72,10 @@ class Sweep {
   std::vector<ModifyFdsResult> RunSearches(
       const std::vector<int64_t>& taus,
       const ModifyFdsOptions& opts = {}) const;
+
+  /// Same with per-job options (mode, budgets, cancellation).
+  std::vector<ModifyFdsResult> RunSearches(
+      const std::vector<SearchJob>& jobs) const;
 
   const FdSearchContext& context() const { return ctx_; }
   const Options& options() const { return options_; }

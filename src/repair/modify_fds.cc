@@ -170,6 +170,19 @@ ModifyFdsResult ModifyFds(const FdSearchContext& ctx, int64_t tau,
 
   std::optional<FdRepair> best;
   while (!pq.empty()) {
+    // Interruption checks, once per popped state. Cancellation and deadlines
+    // are timing-dependent by nature; the default options leave both off and
+    // keep the search fully deterministic.
+    if (opts.cancel != nullptr && opts.cancel->Cancelled()) {
+      result.termination = SearchTermination::kCancelled;
+      break;
+    }
+    if (opts.deadline_seconds > 0 &&
+        timer.ElapsedSeconds() > opts.deadline_seconds) {
+      result.termination = SearchTermination::kDeadline;
+      break;
+    }
+
     OpenEntry top = pq.top();
     pq.pop();
 
@@ -187,6 +200,7 @@ ModifyFdsResult ModifyFds(const FdSearchContext& ctx, int64_t tau,
 
     ++stats.states_visited;
     if (opts.max_visited > 0 && stats.states_visited > opts.max_visited) {
+      result.termination = SearchTermination::kVisitBudget;
       break;
     }
 

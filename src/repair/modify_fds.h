@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/exec/cancel.h"
 #include "src/exec/options.h"
 #include "src/fd/difference_set.h"
 #include "src/repair/evaluation.h"
@@ -39,8 +40,16 @@ struct ModifyFdsOptions {
   /// tie-break on distance to I). Costs within `cost_epsilon` tie.
   bool tie_break_delta = true;
   double cost_epsilon = 1e-9;
-  /// Safety cap on popped states (0 = unlimited).
+  /// Safety cap on popped states (0 = unlimited). Hitting it reports
+  /// SearchTermination::kVisitBudget.
   int64_t max_visited = 0;
+  /// Wall-clock cap in seconds (0 = none), checked once per popped state.
+  /// Expiry reports SearchTermination::kDeadline. Like `cancel`, a deadline
+  /// makes the outcome timing-dependent — opt-in only, never a default.
+  double deadline_seconds = 0.0;
+  /// Cooperative cancellation, polled once per popped state. Not owned;
+  /// the caller keeps the token alive for the duration of the search.
+  const exec::CancelToken* cancel = nullptr;
   /// Parallel successor evaluation (src/exec/). With more than one thread,
   /// a popped state's LHS-extensions are evaluated speculatively on a
   /// thread pool at expansion time, each child with its own cover scratch;
@@ -63,10 +72,22 @@ struct FdRepair {
   int64_t delta_p = 0;          ///< α·|C2opt(Σ', I)|
 };
 
+/// Why a search loop stopped. Only kCompleted carries the full Algorithm 2
+/// guarantee (the repair is cost-minimal, or provably none exists ≤ τ); the
+/// other values mean the search was interrupted — `repair` then holds the
+/// best goal state found so far, if any.
+enum class SearchTermination {
+  kCompleted,    ///< open list exhausted or optimality bound closed
+  kVisitBudget,  ///< stopped by ModifyFdsOptions::max_visited
+  kDeadline,     ///< stopped by ModifyFdsOptions::deadline_seconds
+  kCancelled,    ///< stopped by ModifyFdsOptions::cancel
+};
+
 /// Result of ModifyFds.
 struct ModifyFdsResult {
-  std::optional<FdRepair> repair;  ///< empty when no goal state exists
+  std::optional<FdRepair> repair;  ///< empty when no goal state was reached
   SearchStats stats;
+  SearchTermination termination = SearchTermination::kCompleted;
 };
 
 /// Precomputed, τ-independent context shared by searches over one (Σ, I):

@@ -4,12 +4,14 @@
 
 namespace retrust {
 
-std::optional<Repair> RepairDataAndFds(const FdSearchContext& ctx,
-                                       const EncodedInstance& inst,
-                                       int64_t tau,
-                                       const RepairOptions& opts) {
+RepairOutcome RunRepair(const FdSearchContext& ctx,
+                        const EncodedInstance& inst, int64_t tau,
+                        const RepairOptions& opts) {
   ModifyFdsResult search = ModifyFds(ctx, tau, opts.search);
-  if (!search.repair.has_value()) return std::nullopt;  // line 5: (φ, φ)
+  RepairOutcome outcome;
+  outcome.stats = search.stats;
+  outcome.termination = search.termination;
+  if (!search.repair.has_value()) return outcome;  // line 5: (φ, φ)
 
   const FdRepair& fd_repair = *search.repair;
   Rng rng(opts.seed);
@@ -24,7 +26,15 @@ std::optional<Repair> RepairDataAndFds(const FdSearchContext& ctx,
   out.changed_cells = std::move(data.changed_cells);
   out.delta_p = fd_repair.delta_p;
   out.stats = search.stats;
-  return out;
+  outcome.repair = std::move(out);
+  return outcome;
+}
+
+std::optional<Repair> RepairDataAndFds(const FdSearchContext& ctx,
+                                       const EncodedInstance& inst,
+                                       int64_t tau,
+                                       const RepairOptions& opts) {
+  return RunRepair(ctx, inst, tau, opts).repair;
 }
 
 std::optional<Repair> RepairDataAndFds(const FDSet& sigma,
@@ -38,8 +48,11 @@ std::optional<Repair> RepairDataAndFds(const FDSet& sigma,
 }
 
 int64_t TauFromRelative(double tau_r, int64_t root_delta_p) {
-  if (tau_r < 0) tau_r = 0;
+  // !(tau_r > 0) also catches NaN, which would sail through ordered
+  // comparisons and llround to an arbitrary τ.
+  if (!(tau_r > 0)) tau_r = 0;
   if (tau_r > 1) tau_r = 1;
+  if (root_delta_p < 0) root_delta_p = 0;
   return static_cast<int64_t>(
       std::llround(tau_r * static_cast<double>(root_delta_p)));
 }

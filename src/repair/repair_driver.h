@@ -35,6 +35,20 @@ struct Repair {
   SearchStats stats;
 };
 
+/// Full outcome of Algorithm 1: the repair when one was found, plus the
+/// search stats and the reason the search stopped — available even when no
+/// repair exists, which is what the api/ facade's Status mapping needs.
+struct RepairOutcome {
+  std::optional<Repair> repair;
+  SearchStats stats;  ///< step-1 search stats (same as repair->stats)
+  SearchTermination termination = SearchTermination::kCompleted;
+};
+
+/// Algorithm 1 over a prebuilt search context, reporting the full outcome.
+RepairOutcome RunRepair(const FdSearchContext& ctx,
+                        const EncodedInstance& inst, int64_t tau,
+                        const RepairOptions& opts = {});
+
 /// Algorithm 1. Returns nullopt iff no relaxation of Σ admits a repair with
 /// at most τ cell changes (i.e. no goal state exists).
 std::optional<Repair> RepairDataAndFds(const FDSet& sigma,
@@ -52,6 +66,9 @@ std::optional<Repair> RepairDataAndFds(const FdSearchContext& ctx,
 /// Converts a relative trust level τr ∈ [0, 1] to an absolute τ against the
 /// root bound δP(Σ, I) (the paper defines τr against δopt, which is
 /// NP-hard; the PTIME bound only rescales the axis — see DESIGN.md).
+/// Out-of-range inputs clamp: τr below 0 or NaN maps to 0, above 1 to 1,
+/// and a negative root bound is treated as 0. The api/ facade offers
+/// CheckedTauFromRelative, which rejects such inputs instead.
 int64_t TauFromRelative(double tau_r, int64_t root_delta_p);
 
 }  // namespace retrust

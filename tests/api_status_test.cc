@@ -1,0 +1,107 @@
+// The Status/Result error model and the checked τr resolution.
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/api/session.h"
+
+namespace retrust {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Error(StatusCode::kInvalidFd, "bad FD");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidFd);
+  EXPECT_EQ(s.message(), "bad FD");
+  EXPECT_EQ(s.ToString(), "invalid_fd: bad FD");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kInvalidFd,
+        StatusCode::kSchemaMismatch, StatusCode::kNoRepairWithinTau,
+        StatusCode::kBudgetExceeded, StatusCode::kCancelled,
+        StatusCode::kIoError, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r = Status::Error(StatusCode::kCancelled, "stop");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST(Result, MoveOnlyValueTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 7);
+  std::unique_ptr<int> taken = std::move(r.value());
+  EXPECT_EQ(*taken, 7);
+}
+
+// --- CheckedTauFromRelative (the Result-model τr resolution) -------------
+
+TEST(CheckedTauFromRelative, Boundaries) {
+  Result<int64_t> zero = CheckedTauFromRelative(0.0, 100);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(*zero, 0);
+
+  Result<int64_t> one = CheckedTauFromRelative(1.0, 100);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(*one, 100);
+
+  Result<int64_t> half = CheckedTauFromRelative(0.5, 101);
+  ASSERT_TRUE(half.ok());
+  EXPECT_EQ(*half, TauFromRelative(0.5, 101));
+}
+
+TEST(CheckedTauFromRelative, RejectsOutOfRange) {
+  EXPECT_EQ(CheckedTauFromRelative(-0.01, 100).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckedTauFromRelative(1.01, 100).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckedTauFromRelative(std::nan(""), 100).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckedTauFromRelative(0.5, -1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CheckedTauFromRelative, ZeroRootMapsEverythingToZero) {
+  for (double tau_r : {0.0, 0.3, 1.0}) {
+    Result<int64_t> tau = CheckedTauFromRelative(tau_r, 0);
+    ASSERT_TRUE(tau.ok()) << tau_r;
+    EXPECT_EQ(*tau, 0) << tau_r;
+  }
+}
+
+// The clamping (non-Result) variant must never produce a nonsense τ, even
+// on NaN or a negative root bound.
+TEST(TauFromRelative, ClampsInsteadOfOvershooting) {
+  EXPECT_EQ(TauFromRelative(-0.5, 100), 0);
+  EXPECT_EQ(TauFromRelative(1.5, 100), 100);
+  EXPECT_EQ(TauFromRelative(std::nan(""), 100), 0);
+  EXPECT_EQ(TauFromRelative(0.5, -7), 0);
+  EXPECT_EQ(TauFromRelative(0.0, 0), 0);
+  EXPECT_EQ(TauFromRelative(1.0, 0), 0);
+}
+
+}  // namespace
+}  // namespace retrust

@@ -87,7 +87,7 @@ std::vector<SearchState> RandomStates(const FdSearchContext& ctx, Rng* rng,
 TEST(ExecEvaluationOracle, ViolationTableMatchesLegacyScan) {
   for (uint64_t seed : {11u, 42u, 99u}) {
     ExperimentData data = MakeData(seed);
-    const FdSearchContext& ctx = *data.context;
+    const FdSearchContext& ctx = data.context();
     const ViolationTable& table = ctx.evaluator().table();
     ASSERT_EQ(table.num_groups(), ctx.index().size());
     ASSERT_EQ(table.num_fds(), ctx.sigma().size());
@@ -110,7 +110,7 @@ TEST(ExecEvaluationOracle, ViolationTableMatchesLegacyScan) {
 TEST(ExecEvaluationOracle, MemoizedCoverMatchesLegacyScan) {
   for (uint64_t seed : {7u, 23u}) {
     ExperimentData data = MakeData(seed);
-    const FdSearchContext& ctx = *data.context;
+    const FdSearchContext& ctx = data.context();
     Rng rng(seed);
     std::vector<SearchState> states = RandomStates(ctx, &rng, 30);
     SearchStats stats;
@@ -132,7 +132,7 @@ TEST(ExecEvaluationOracle, MemoizedCoverMatchesLegacyScan) {
 
 TEST(ExecEvaluationOracle, OrderedCoverMatchesOrderSensitiveConcat) {
   ExperimentData data = MakeData(5);
-  const FdSearchContext& ctx = *data.context;
+  const FdSearchContext& ctx = data.context();
   const DeltaPEvaluator& ev = ctx.evaluator();
   int n = ctx.index().size();
   ASSERT_GT(n, 1);
@@ -161,7 +161,7 @@ TEST(ExecEvaluationOracle, OrderedCoverMatchesOrderSensitiveConcat) {
 TEST(ExecEvaluationOracle, GcMatchesLegacyHeuristicPath) {
   for (uint64_t seed : {13u, 57u}) {
     ExperimentData data = MakeData(seed);
-    const FdSearchContext& ctx = *data.context;
+    const FdSearchContext& ctx = data.context();
     // A standalone GcHeuristic (no evaluator) keeps the pre-refactor scan
     // path; the context's heuristic runs through the table + cover memo.
     // Identical inputs must give EXACTLY identical gc values.
@@ -188,16 +188,16 @@ TEST(ExecEvaluationOracle, ModifyFdsBitIdenticalAcrossThreadsAndTaus) {
     for (double tau_r : {0.0, 0.1, 0.3, 0.7, 1.0}) {
       int64_t tau = TauFromRelative(tau_r, data.root_delta_p);
       // Warm-memo serial run on the shared context...
-      ModifyFdsResult serial = ModifyFds(*data.context, tau);
+      ModifyFdsResult serial = ModifyFds(data.context(), tau);
       // ...must equal a cold-memo run on a fresh context (cache contents
       // can never change results)...
-      FdSearchContext fresh(data.dirty.fds, *data.encoded, *data.weights);
+      FdSearchContext fresh(data.dirty.fds, data.encoded(), data.weights());
       ModifyFdsResult cold = ModifyFds(fresh, tau);
       // ...and speculative parallel runs at any thread count.
       for (int threads : {2, 8}) {
         ModifyFdsOptions opts;
         opts.exec.num_threads = threads;
-        ModifyFdsResult parallel = ModifyFds(*data.context, tau, opts);
+        ModifyFdsResult parallel = ModifyFds(data.context(), tau, opts);
         for (const ModifyFdsResult* r : {&cold, &parallel}) {
           EXPECT_EQ(r->stats.states_visited, serial.stats.states_visited);
           EXPECT_EQ(r->stats.states_generated, serial.stats.states_generated);
@@ -217,14 +217,14 @@ TEST(ExecEvaluationOracle, ModifyFdsBitIdenticalAcrossThreadsAndTaus) {
 TEST(ExecEvaluationOracle, RepairDataShardedBitIdentical) {
   ExperimentData data = MakeData(31);
   Rng rng_serial(9);
-  DataRepairResult serial = RepairData(*data.encoded, data.dirty.fds,
+  DataRepairResult serial = RepairData(data.encoded(), data.dirty.fds,
                                        &rng_serial);
   for (int threads : {2, 8}) {
     Rng rng(9);
     exec::Options eopts;
     eopts.num_threads = threads;
     DataRepairResult sharded =
-        RepairData(*data.encoded, data.dirty.fds, &rng, eopts);
+        RepairData(data.encoded(), data.dirty.fds, &rng, eopts);
     EXPECT_EQ(sharded.cover_size, serial.cover_size) << threads;
     EXPECT_EQ(sharded.change_bound, serial.change_bound) << threads;
     ASSERT_EQ(sharded.changed_cells.size(), serial.changed_cells.size());
@@ -245,14 +245,14 @@ TEST(ExecEvaluationOracle, SweepSharesCoverMemoAcrossTauJobs) {
   ExperimentData data = MakeData(47, 250);
   std::vector<int64_t> taus = exec::TauGridFromRelative(
       {0.1, 0.3, 0.5, 0.7, 0.9}, data.root_delta_p);
-  CoverMemo::Stats before = data.context->evaluator().memo().stats();
-  exec::Sweep sweep(*data.context, *data.encoded, {4});
+  CoverMemo::Stats before = data.context().evaluator().memo().stats();
+  exec::Sweep sweep(data.context(), data.encoded(), {4});
   std::vector<ModifyFdsResult> swept = sweep.RunSearches(taus);
-  CoverMemo::Stats after = data.context->evaluator().memo().stats();
+  CoverMemo::Stats after = data.context().evaluator().memo().stats();
   ASSERT_EQ(swept.size(), taus.size());
   EXPECT_GT(after.hits, before.hits);  // cross-job (and in-job) reuse
   for (size_t i = 0; i < taus.size(); ++i) {
-    FdSearchContext fresh(data.dirty.fds, *data.encoded, *data.weights);
+    FdSearchContext fresh(data.dirty.fds, data.encoded(), data.weights());
     ModifyFdsResult serial = ModifyFds(fresh, taus[i]);
     EXPECT_EQ(swept[i].stats.states_visited, serial.stats.states_visited);
     ASSERT_EQ(swept[i].repair.has_value(), serial.repair.has_value());

@@ -47,17 +47,17 @@ std::string Fingerprint(const std::optional<Repair>& repair,
 
 TEST(ExecDeterminism, ViolationDetectionShardedBitIdentical) {
   ExperimentData data = MakeData();
-  ConflictGraph serial = BuildConflictGraph(*data.encoded, data.dirty.fds);
-  DifferenceSetIndex serial_index(*data.encoded, serial);
+  ConflictGraph serial = BuildConflictGraph(data.encoded(), data.dirty.fds);
+  DifferenceSetIndex serial_index(data.encoded(), serial);
   for (int threads : {2, 3, 8}) {
     std::unique_ptr<exec::ThreadPool> pool = exec::MakePool({threads});
     ASSERT_NE(pool, nullptr);
     ConflictGraph sharded =
-        BuildConflictGraph(*data.encoded, data.dirty.fds, pool.get());
+        BuildConflictGraph(data.encoded(), data.dirty.fds, pool.get());
     EXPECT_EQ(sharded.graph.edges(), serial.graph.edges()) << threads;
     EXPECT_EQ(sharded.edge_fd_mask, serial.edge_fd_mask) << threads;
 
-    DifferenceSetIndex index(*data.encoded, sharded, pool.get());
+    DifferenceSetIndex index(data.encoded(), sharded, pool.get());
     ASSERT_EQ(index.size(), serial_index.size()) << threads;
     for (int g = 0; g < index.size(); ++g) {
       EXPECT_EQ(index.group(g).diff, serial_index.group(g).diff) << threads;
@@ -69,10 +69,10 @@ TEST(ExecDeterminism, ViolationDetectionShardedBitIdentical) {
 TEST(ExecDeterminism, ViolatingPairsShardedBitIdentical) {
   ExperimentData data = MakeData();
   for (const FD& fd : data.dirty.fds.fds()) {
-    std::vector<Edge> serial = ViolatingPairs(*data.encoded, fd);
+    std::vector<Edge> serial = ViolatingPairs(data.encoded(), fd);
     for (int threads : {2, 8}) {
       std::unique_ptr<exec::ThreadPool> pool = exec::MakePool({threads});
-      EXPECT_EQ(ViolatingPairs(*data.encoded, fd, pool.get()), serial)
+      EXPECT_EQ(ViolatingPairs(data.encoded(), fd, pool.get()), serial)
           << fd.ToString() << " at " << threads << " threads";
     }
   }
@@ -83,18 +83,18 @@ TEST(ExecDeterminism, ViolatingPairsShardedBitIdentical) {
 // where the search must relax FDs and where it must repair cells).
 TEST(ExecDeterminism, RepairDataAndFdsIdenticalAcrossThreadCounts) {
   ExperimentData data = MakeData();
-  const Schema& schema = data.dirty_instance.schema();
+  const Schema& schema = data.dirty_instance().schema();
   for (double tau_r : {0.0, 0.15, 0.5, 1.0}) {
     int64_t tau = TauFromRelative(tau_r, data.root_delta_p);
     RepairOptions serial_opts;
     std::optional<Repair> serial =
-        RepairDataAndFds(*data.context, *data.encoded, tau, serial_opts);
+        RepairDataAndFds(data.context(), data.encoded(), tau, serial_opts);
     std::string want = Fingerprint(serial, schema);
     for (int threads : {2, 8}) {
       RepairOptions opts;
       opts.search.exec.num_threads = threads;
       std::optional<Repair> parallel =
-          RepairDataAndFds(*data.context, *data.encoded, tau, opts);
+          RepairDataAndFds(data.context(), data.encoded(), tau, opts);
       EXPECT_EQ(Fingerprint(parallel, schema), want)
           << "tau_r=" << tau_r << " threads=" << threads;
     }
@@ -110,12 +110,12 @@ TEST(ExecDeterminism, SearchScheduleIdenticalAcrossThreadCounts) {
   for (SearchMode mode : {SearchMode::kAStar, SearchMode::kBestFirst}) {
     ModifyFdsOptions serial_opts;
     serial_opts.mode = mode;
-    ModifyFdsResult serial = ModifyFds(*data.context, tau, serial_opts);
+    ModifyFdsResult serial = ModifyFds(data.context(), tau, serial_opts);
     for (int threads : {2, 8}) {
       ModifyFdsOptions opts;
       opts.mode = mode;
       opts.exec.num_threads = threads;
-      ModifyFdsResult parallel = ModifyFds(*data.context, tau, opts);
+      ModifyFdsResult parallel = ModifyFds(data.context(), tau, opts);
       EXPECT_EQ(parallel.stats.states_visited, serial.stats.states_visited);
       EXPECT_EQ(parallel.stats.states_generated,
                 serial.stats.states_generated);
@@ -136,11 +136,11 @@ TEST(ExecDeterminism, SweepMatchesIndependentSerialRuns) {
 
   std::vector<ModifyFdsResult> serial;
   for (int64_t tau : taus) {
-    serial.push_back(ModifyFds(*data.context, tau));
+    serial.push_back(ModifyFds(data.context(), tau));
   }
 
   for (int threads : {1, 4}) {
-    exec::Sweep sweep(*data.context, *data.encoded, {threads});
+    exec::Sweep sweep(data.context(), data.encoded(), {threads});
     std::vector<ModifyFdsResult> swept = sweep.RunSearches(taus);
     ASSERT_EQ(swept.size(), serial.size());
     for (size_t i = 0; i < taus.size(); ++i) {
@@ -164,15 +164,15 @@ TEST(ExecDeterminism, SweepRepairsReturnedInJobOrder) {
     job.tau = TauFromRelative(tau_r, data.root_delta_p);
     jobs.push_back(job);
   }
-  exec::Sweep sweep(*data.context, *data.encoded, {4});
+  exec::Sweep sweep(data.context(), data.encoded(), {4});
   std::vector<exec::SweepOutcome> outcomes = sweep.RunRepairs(jobs);
   ASSERT_EQ(outcomes.size(), jobs.size());
-  const Schema& schema = data.dirty_instance.schema();
+  const Schema& schema = data.dirty_instance().schema();
   for (size_t i = 0; i < jobs.size(); ++i) {
     EXPECT_EQ(outcomes[i].tau, jobs[i].tau);
     RepairOptions opts;
     std::optional<Repair> serial =
-        RepairDataAndFds(*data.context, *data.encoded, jobs[i].tau, opts);
+        RepairDataAndFds(data.context(), data.encoded(), jobs[i].tau, opts);
     EXPECT_EQ(Fingerprint(outcomes[i].repair, schema),
               Fingerprint(serial, schema));
   }
@@ -180,10 +180,10 @@ TEST(ExecDeterminism, SweepRepairsReturnedInJobOrder) {
 
 TEST(ExecDeterminism, ContextConstructionShardedBitIdentical) {
   ExperimentData data = MakeData(250);
-  FdSearchContext serial_ctx(data.dirty.fds, *data.encoded, *data.weights);
+  FdSearchContext serial_ctx(data.dirty.fds, data.encoded(), data.weights());
   exec::Options eight;
   eight.num_threads = 8;
-  FdSearchContext sharded_ctx(data.dirty.fds, *data.encoded, *data.weights,
+  FdSearchContext sharded_ctx(data.dirty.fds, data.encoded(), data.weights(),
                               HeuristicOptions{}, eight);
   ASSERT_EQ(sharded_ctx.index().size(), serial_ctx.index().size());
   for (int g = 0; g < serial_ctx.index().size(); ++g) {

@@ -21,10 +21,10 @@ ExperimentData Prepare(double fd_err, double data_err,
 
 TEST(Experiment, PrepareWiresEverything) {
   ExperimentData data = Prepare(0.4, 0.02);
-  EXPECT_EQ((*data.encoded).NumTuples(), 500);
+  EXPECT_EQ(data.encoded().NumTuples(), 500);
   EXPECT_GT(data.root_delta_p, 0);
-  EXPECT_NE(data.weights, nullptr);
-  EXPECT_NE(data.context, nullptr);
+  ASSERT_NE(data.session, nullptr);
+  EXPECT_EQ(data.session->RootDeltaP(), data.root_delta_p);
   EXPECT_FALSE(data.dirty.perturbed_cells.empty());
   EXPECT_GT(data.dirty.removed_lhs[0].Count(), 0);
 }
