@@ -78,7 +78,8 @@ Session::Session(Instance data, SessionOptions opts)
     : instance_(std::make_unique<Instance>(std::move(data))),
       encoded_(std::make_unique<EncodedInstance>(*instance_)),
       opts_(opts),
-      mu_(std::make_unique<std::mutex>()) {}
+      mu_(std::make_unique<std::mutex>()),
+      state_mu_(std::make_unique<std::shared_mutex>()) {}
 
 Result<Session> Session::Open(Instance data, FDSet sigma,
                               SessionOptions opts) {
@@ -153,10 +154,13 @@ std::shared_ptr<Session::ContextBundle> Session::BundleFor(FDSet sigma) {
   // Σ/weights equality disambiguates genuine 64-bit collisions.
   for (const std::shared_ptr<ContextBundle>& bundle : bucket) {
     if (bundle->sigma == sigma && bundle->weights == weights) {
+      ++cache_hits_;
+      bundle->last_used = ++use_clock_;
       active_fingerprint_ = fp;
       return bundle;
     }
   }
+  ++cache_misses_;
   auto bundle = std::make_shared<ContextBundle>();
   bundle->sigma = std::move(sigma);
   bundle->weights = weights;
@@ -166,9 +170,46 @@ std::shared_ptr<Session::ContextBundle> Session::BundleFor(FDSet sigma) {
   bundle->sweep =
       std::make_unique<exec::Sweep>(*bundle->context, *encoded_, opts_.exec);
   bundle->root_delta_p = bundle->context->RootDeltaP();
+  bundle->last_used = ++use_clock_;
   bucket.push_back(bundle);
   active_fingerprint_ = fp;
   return bundle;
+}
+
+void Session::EvictIfNeeded() {
+  if (opts_.max_cached_contexts == 0) return;
+  std::lock_guard<std::mutex> lock(*mu_);
+  auto cache_size = [this] {
+    size_t n = 0;
+    for (const auto& [fp, bucket] : cache_) n += bucket.size();
+    return n;
+  };
+  while (cache_size() > opts_.max_cached_contexts) {
+    // Oldest last_used wins; the active context is exempt so the cache
+    // always answers for the live Σ.
+    std::map<uint64_t,
+             std::vector<std::shared_ptr<ContextBundle>>>::iterator
+        victim_bucket = cache_.end();
+    size_t victim_slot = 0;
+    uint64_t victim_age = 0;
+    bool found = false;
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      for (size_t i = 0; i < it->second.size(); ++i) {
+        const ContextBundle* b = it->second[i].get();
+        if (b == active_.get()) continue;
+        if (!found || b->last_used < victim_age) {
+          victim_bucket = it;
+          victim_slot = i;
+          victim_age = b->last_used;
+          found = true;
+        }
+      }
+    }
+    if (!found) return;  // only the active bundle left
+    victim_bucket->second.erase(victim_bucket->second.begin() + victim_slot);
+    if (victim_bucket->second.empty()) cache_.erase(victim_bucket);
+    ++cache_evictions_;
+  }
 }
 
 Status Session::SetFds(FDSet sigma) {
@@ -176,6 +217,7 @@ Status Session::SetFds(FDSet sigma) {
   if (!status.ok()) return status;
   try {
     active_ = BundleFor(std::move(sigma));
+    EvictIfNeeded();
   } catch (const std::exception& e) {
     return Status::Error(StatusCode::kInternal, e.what());
   }
@@ -197,13 +239,99 @@ Status Session::SetWeights(WeightModel weights) {
   return status;
 }
 
+Result<ApplyStats> Session::Apply(const DeltaBatch& delta) {
+  // Exclusive snapshot lock: in-flight requests (shared holders) drain
+  // first, later ones observe the fully patched state.
+  std::unique_lock<std::shared_mutex> snapshot(*state_mu_);
+  Timer timer;
+  ApplyStats stats;
+  stats.tuples_inserted = static_cast<int>(delta.inserts.size());
+  stats.tuples_updated = static_cast<int>(delta.updates.size());
+  stats.tuples_deleted = static_cast<int>(delta.deletes.size());
+  stats.num_tuples = encoded_->NumTuples();
+  stats.data_version = data_version_;
+  if (delta.Empty()) {
+    stats.seconds = timer.ElapsedSeconds();
+    return stats;
+  }
+  DeltaPlan plan;
+  try {
+    plan = PlanDelta(delta, encoded_->NumTuples(), encoded_->NumAttrs());
+  } catch (const std::invalid_argument& e) {
+    // Validation failed before anything mutated; the session is untouched.
+    return Status::Error(StatusCode::kInvalidArgument, e.what());
+  }
+  try {
+    instance_->ApplyDelta(delta, plan);
+    encoded_->ApplyDelta(delta, plan);
+    bool patch_failed = false;
+    {
+      std::lock_guard<std::mutex> lock(*mu_);
+      // Memoized projections are stale against the mutated instance; they
+      // refill lazily on the next Weight() call.
+      for (auto& [model, weights] : weight_cache_) weights->Invalidate();
+      // Patch EVERY cached context (they all read the one shared encoded
+      // instance, so none may survive un-patched), re-pin each sweep.
+      // One session-cached pool serves every Apply — no per-batch or
+      // per-context thread churn on the streaming append path.
+      try {
+        if (apply_pool_ == nullptr) apply_pool_ = exec::MakePool(opts_.exec);
+        exec::ThreadPool* pool = apply_pool_.get();
+        for (auto& [fp, bucket] : cache_) {
+          for (const std::shared_ptr<ContextBundle>& bundle : bucket) {
+            FdSearchContext::DeltaReport report =
+                bundle->context->ApplyDelta(*encoded_, plan.dirty,
+                                            plan.remap, pool);
+            bundle->root_delta_p = bundle->context->RootDeltaP();
+            bundle->sweep->Refresh();
+            ++stats.contexts_patched;
+            stats.edges_removed += report.index.edges_removed;
+            stats.edges_added += report.index.edges_added;
+            stats.groups_preserved += report.index.groups_preserved;
+            stats.groups_changed += report.index.groups_changed;
+            stats.covers_kept += report.evaluator.memo.entries_kept;
+            stats.covers_dropped += report.evaluator.memo.entries_dropped;
+          }
+        }
+      } catch (...) {
+        // A half-patched cache over the already-mutated instance would be
+        // silently wrong (stale tuple ids, unbumped versions). Fall back
+        // to consistency over warmth: drop every context and rebuild the
+        // active Σ from scratch below.
+        patch_failed = true;
+        cache_.clear();
+      }
+    }
+    if (patch_failed) {
+      stats = ApplyStats{};
+      stats.tuples_inserted = static_cast<int>(delta.inserts.size());
+      stats.tuples_updated = static_cast<int>(delta.updates.size());
+      stats.tuples_deleted = static_cast<int>(delta.deletes.size());
+      active_ = BundleFor(active_->sigma);  // fresh over the mutated data
+      stats.contexts_patched = 1;
+      stats.groups_changed = active_->context->index().size();
+    }
+    ++data_version_;
+  } catch (const std::exception& e) {
+    // Only the in-place instance mutation or the from-scratch fallback can
+    // land here (e.g. OOM); the session may be unusable.
+    return Status::Error(StatusCode::kInternal, e.what());
+  }
+  stats.num_tuples = encoded_->NumTuples();
+  stats.data_version = data_version_;
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
 Result<int64_t> Session::ResolveTau(const RepairRequest& req) const {
+  // Callers (the request methods) hold the snapshot lock already, so this
+  // must use the unlocked root accessor (shared_mutex is non-recursive).
   if (req.tau >= 0) return req.tau;
   if (req.tau_r == -1.0) {
     return Status::Error(StatusCode::kInvalidArgument,
                          "request sets neither tau nor tau_r");
   }
-  return CheckedTauFromRelative(req.tau_r, RootDeltaP());
+  return CheckedTauFromRelative(req.tau_r, RootDeltaPLocked());
 }
 
 ModifyFdsOptions Session::SearchOptions(const RepairRequest& req) const {
@@ -220,6 +348,7 @@ ModifyFdsOptions Session::SearchOptions(const RepairRequest& req) const {
 }
 
 Result<RepairResponse> Session::Repair(const RepairRequest& req) const {
+  std::shared_lock<std::shared_mutex> snapshot(*state_mu_);
   Result<int64_t> tau = ResolveTau(req);
   if (!tau.ok()) return tau.status();
   try {
@@ -281,6 +410,7 @@ std::vector<Result<Response>> Session::RunBatch(
 
 std::vector<Result<RepairResponse>> Session::RepairMany(
     std::span<const RepairRequest> reqs) const {
+  std::shared_lock<std::shared_mutex> snapshot(*state_mu_);
   return RunBatch<RepairResponse, exec::SweepJob>(
       reqs,
       [this](const RepairRequest& req, int64_t tau) {
@@ -308,6 +438,7 @@ std::vector<Result<RepairResponse>> Session::RepairMany(
 }
 
 Result<SearchProbe> Session::Search(const RepairRequest& req) const {
+  std::shared_lock<std::shared_mutex> snapshot(*state_mu_);
   Result<int64_t> tau = ResolveTau(req);
   if (!tau.ok()) return tau.status();
   try {
@@ -324,6 +455,7 @@ Result<SearchProbe> Session::Search(const RepairRequest& req) const {
 
 std::vector<Result<SearchProbe>> Session::SearchMany(
     std::span<const RepairRequest> reqs) const {
+  std::shared_lock<std::shared_mutex> snapshot(*state_mu_);
   return RunBatch<SearchProbe, exec::SearchJob>(
       reqs,
       [this](const RepairRequest& req, int64_t tau) {
@@ -352,6 +484,7 @@ Result<MultiRepairResult> Session::EnumerateRepairs(int64_t tau_lo,
                              std::to_string(tau_lo) + ", " +
                              std::to_string(tau_hi) + "]");
   }
+  std::shared_lock<std::shared_mutex> snapshot(*state_mu_);
   try {
     ModifyFdsOptions opts;
     opts.heuristic = opts_.heuristic;
@@ -361,7 +494,15 @@ Result<MultiRepairResult> Session::EnumerateRepairs(int64_t tau_lo,
   }
 }
 
-int64_t Session::RootDeltaP() const { return active_->root_delta_p; }
+uint64_t Session::DataVersion() const {
+  std::shared_lock<std::shared_mutex> snapshot(*state_mu_);
+  return data_version_;
+}
+
+int64_t Session::RootDeltaP() const {
+  std::shared_lock<std::shared_mutex> snapshot(*state_mu_);
+  return RootDeltaPLocked();
+}
 
 const FDSet& Session::fds() const { return active_->sigma; }
 
@@ -369,13 +510,19 @@ const FdSearchContext& Session::context() const { return *active_->context; }
 
 const WeightFunction& Session::weights() const { return *active_->weights; }
 
-uint64_t Session::ContextFingerprint() const { return active_fingerprint_; }
+uint64_t Session::ContextFingerprint() const {
+  std::shared_lock<std::shared_mutex> snapshot(*state_mu_);
+  return active_fingerprint_;
+}
 
-size_t Session::CachedContexts() const {
+ContextCacheStats Session::CachedContexts() const {
   std::lock_guard<std::mutex> lock(*mu_);
-  size_t n = 0;
-  for (const auto& [fp, bucket] : cache_) n += bucket.size();
-  return n;
+  ContextCacheStats stats;
+  for (const auto& [fp, bucket] : cache_) stats.cached += bucket.size();
+  stats.hits = cache_hits_;
+  stats.misses = cache_misses_;
+  stats.evictions = cache_evictions_;
+  return stats;
 }
 
 }  // namespace retrust

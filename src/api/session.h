@@ -19,8 +19,13 @@
 //
 // Thread safety: const methods (Repair, RepairMany, Search, ...) are safe
 // to call concurrently — batched requests additionally fan out on the
-// session's own exec::Sweep pool. The mutating methods (SetFds, SetWeights)
-// require external exclusion against everything else, like any C++ object.
+// session's own exec::Sweep pool. Apply() may ALSO run concurrently with
+// the const request methods: requests take a shared snapshot lock and a
+// delta takes it exclusively, so every request observes either the whole
+// pre-delta or the whole post-delta state, never a mix (the exec::Sweep
+// version pin double-checks this). The remaining mutating methods
+// (SetFds, SetWeights) require external exclusion against everything
+// else, like any C++ object.
 
 #ifndef RETRUST_API_SESSION_H_
 #define RETRUST_API_SESSION_H_
@@ -29,6 +34,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -36,6 +42,7 @@
 #include "src/api/status.h"
 #include "src/exec/cancel.h"
 #include "src/exec/sweep.h"
+#include "src/relational/delta.h"
 #include "src/repair/multi_repair.h"
 
 namespace retrust {
@@ -51,6 +58,45 @@ struct SessionOptions {
   /// (RepairMany/SearchMany) fan out on. Results are bit-identical for any
   /// thread count (DESIGN.md).
   exec::Options exec;
+  /// Upper bound on cached FdSearchContexts (0 = unbounded). When SetFds/
+  /// SetWeights would push the cache past the bound, the least-recently
+  /// used non-active context is evicted (size+age LRU); revisiting an
+  /// evicted fingerprint rebuilds it. Not part of the context fingerprint.
+  size_t max_cached_contexts = 0;
+};
+
+/// Observable context-cache behavior (tests and ops dashboards).
+struct ContextCacheStats {
+  size_t cached = 0;      ///< contexts currently held
+  uint64_t hits = 0;      ///< BundleFor answered from the cache
+  uint64_t misses = 0;    ///< contexts built
+  uint64_t evictions = 0; ///< contexts dropped by the LRU bound
+};
+
+/// What one Session::Apply did — the delta's blast radius vs what stayed
+/// warm. `reuse_ratio` close to 1 is the incremental engine's win: the
+/// fraction of the contexts' difference-set groups that survived the delta
+/// untouched (their incidence rows and cached covers were carried over).
+struct ApplyStats {
+  int tuples_inserted = 0;
+  int tuples_updated = 0;   ///< update entries applied (cells, not tuples)
+  int tuples_deleted = 0;
+  int num_tuples = 0;       ///< post-delta cardinality
+  uint64_t data_version = 0;  ///< post-delta Session::DataVersion()
+  int contexts_patched = 0;   ///< cached contexts delta-maintained in place
+  int64_t edges_removed = 0;  ///< conflict edges dropped across contexts
+  int64_t edges_added = 0;    ///< conflict edges discovered across contexts
+  int groups_preserved = 0;   ///< diff-set groups carried over untouched
+  int groups_changed = 0;     ///< diff-set groups rebuilt or new
+  size_t covers_kept = 0;     ///< memoized covers remapped and kept warm
+  size_t covers_dropped = 0;  ///< memoized covers invalidated
+  double seconds = 0.0;       ///< wall-clock of the whole Apply
+
+  double reuse_ratio() const {
+    int total = groups_preserved + groups_changed;
+    return total == 0 ? 1.0
+                      : static_cast<double>(groups_preserved) / total;
+  }
 };
 
 /// One repair request. Exactly one of `tau` (absolute cell-change budget)
@@ -144,6 +190,26 @@ class Session {
   /// Switches the weight model (same context-cache semantics as SetFds).
   Status SetWeights(WeightModel weights);
 
+  /// Applies a batch of tuple inserts/updates/deletes to the live dataset
+  /// and delta-maintains EVERY cached context in place: the difference-set
+  /// index only re-examines pairs with a mutated endpoint (O(Δ·n) instead
+  /// of the O(n²) rebuild), preserved groups keep their violation-table
+  /// rows and their memoized covers, and each context's version is bumped
+  /// so its sweep re-pins the new snapshot. A repair issued right after an
+  /// Apply therefore reuses everything outside the delta's blast radius.
+  /// Post-delta answers are bit-identical to a session freshly opened over
+  /// the mutated data. Safe to call concurrently with the const request
+  /// methods (it takes the snapshot lock exclusively; in-flight requests
+  /// drain first); needs external exclusion only against SetFds/
+  /// SetWeights. kInvalidArgument on out-of-range ids, duplicate deletes,
+  /// or arity mismatches — validation happens before anything mutates.
+  Result<ApplyStats> Apply(const DeltaBatch& delta);
+
+  /// Monotone dataset version: bumped by every non-empty successful
+  /// Apply(). Contexts cached by SetFds always reflect the live version.
+  /// Safe against a concurrent Apply (reads under the snapshot lock).
+  uint64_t DataVersion() const;
+
   /// Algorithm 1 at the request's τ. Error codes: kInvalidArgument (no τ,
   /// τr out of range), kNoRepairWithinTau, kBudgetExceeded, kCancelled.
   /// An interrupted request that already holds a τ-feasible repair returns
@@ -168,23 +234,32 @@ class Session {
                                              int64_t tau_hi) const;
 
   /// δP(Σ, I) of the active Σ — the root bound; τr = 1 resolves to this.
+  /// Safe against a concurrent Apply (reads under the snapshot lock).
   int64_t RootDeltaP() const;
 
+  /// Reference-returning accessors. The references stay valid for the
+  /// session's lifetime, but the pointed-to state is delta-maintained IN
+  /// PLACE by Apply() — reading through them concurrently with an Apply
+  /// is not synchronized. The value-returning observers (DataVersion,
+  /// RootDeltaP, ContextFingerprint, CachedContexts) and the request
+  /// methods are the Apply-concurrency-safe surface.
   const Instance& instance() const { return *instance_; }
   const Schema& schema() const { return instance_->schema(); }
   const FDSet& fds() const;
   const SessionOptions& options() const { return opts_; }
 
   /// Fingerprint of the active (Σ, weights, heuristic, exec) context and
-  /// the number of distinct contexts this session has built — observable
-  /// cache behavior for tests and ops dashboards.
+  /// the cache's observable behavior (current size, hits, misses,
+  /// evictions) for tests and ops dashboards. Both are safe against a
+  /// concurrent Apply.
   uint64_t ContextFingerprint() const;
-  size_t CachedContexts() const;
+  ContextCacheStats CachedContexts() const;
 
   /// Internal-layer escape hatches for the eval/ harness and benchmarks:
   /// the encoded dataset, the active search context, and its weights.
-  /// Everything reachable from here is const and thread-safe, but the
-  /// types are NOT part of the stable facade surface.
+  /// Everything reachable from here is const and thread-safe against
+  /// other const calls (NOT against Apply — see above), and the types
+  /// are NOT part of the stable facade surface.
   const EncodedInstance& data() const { return *encoded_; }
   const FdSearchContext& context() const;
   const WeightFunction& weights() const;
@@ -199,14 +274,23 @@ class Session {
     std::unique_ptr<FdSearchContext> context;
     std::unique_ptr<exec::Sweep> sweep;
     int64_t root_delta_p = 0;
+    uint64_t last_used = 0;  ///< LRU ordinal (session use_clock_)
   };
 
   Session(Instance data, SessionOptions opts);
 
   Status Validate(const FDSet& sigma) const;
   const WeightFunction& WeightFor(WeightModel model);
-  /// Returns the cached bundle for (sigma, opts_) or builds and caches it.
+  /// RootDeltaP for callers already holding the snapshot lock (request
+  /// methods; shared_mutex is non-recursive, so they must not re-lock).
+  int64_t RootDeltaPLocked() const { return active_->root_delta_p; }
+  /// Returns the cached bundle for (sigma, opts_) or builds and caches it,
+  /// touching its LRU slot.
   std::shared_ptr<ContextBundle> BundleFor(FDSet sigma);
+  /// Drops least-recently-used bundles (never the active one) until the
+  /// cache respects max_cached_contexts. Runs after every active-context
+  /// switch; evicted fingerprints rebuild on their next use.
+  void EvictIfNeeded();
   Result<int64_t> ResolveTau(const RepairRequest& req) const;
   ModifyFdsOptions SearchOptions(const RepairRequest& req) const;
 
@@ -226,13 +310,27 @@ class Session {
   std::map<int, std::unique_ptr<WeightFunction>> weight_cache_;
   uint64_t active_fingerprint_ = 0;
   std::shared_ptr<ContextBundle> active_;
-  /// Guards cache_ (BundleFor may be reached from const batched paths in
-  /// future extensions); heap-pinned so Session stays movable.
+  /// Guards cache_ and the LRU/hit counters (BundleFor may be reached
+  /// from const batched paths in future extensions); heap-pinned so
+  /// Session stays movable.
   std::unique_ptr<std::mutex> mu_;
+  /// Snapshot lock: request methods hold it shared for their whole run,
+  /// Apply holds it exclusively while mutating the instance and patching
+  /// contexts — so a delta can never interleave with a request.
+  std::unique_ptr<std::shared_mutex> state_mu_;
   /// Buckets keyed by the raw fingerprint; entries within a bucket are
-  /// disambiguated by Σ/weights equality, so erasing any entry (the
-  /// ROADMAP's eviction follow-on) can never orphan another.
+  /// disambiguated by Σ/weights equality, so erasing any entry (LRU
+  /// eviction) can never orphan another.
   std::map<uint64_t, std::vector<std::shared_ptr<ContextBundle>>> cache_;
+  /// Lazily created, reused across Apply calls (which the exclusive
+  /// snapshot lock serializes) — streaming small deltas pays no per-batch
+  /// thread churn. Null until the first parallel Apply.
+  std::unique_ptr<exec::ThreadPool> apply_pool_;
+  uint64_t data_version_ = 1;
+  uint64_t use_clock_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+  uint64_t cache_evictions_ = 0;
 };
 
 }  // namespace retrust

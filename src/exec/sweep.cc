@@ -1,15 +1,34 @@
 #include "src/exec/sweep.h"
 
+#include <stdexcept>
+#include <string>
+
 #include "src/util/timer.h"
 
 namespace retrust::exec {
 
 Sweep::Sweep(const FdSearchContext& ctx, const EncodedInstance& inst,
              Options options)
-    : ctx_(ctx), inst_(inst), options_(options), pool_(MakePool(options)) {}
+    : ctx_(ctx),
+      inst_(inst),
+      options_(options),
+      pool_(MakePool(options)),
+      pinned_version_(ctx.version()) {}
+
+void Sweep::CheckVersion(const char* when) const {
+  const uint64_t now = ctx_.version();
+  if (now != pinned_version_) {
+    throw std::logic_error(
+        "exec::Sweep " + std::string(when) + ": context version " +
+        std::to_string(now) + " != pinned " +
+        std::to_string(pinned_version_) +
+        " — a delta was applied without Refresh(), or raced this sweep");
+  }
+}
 
 std::vector<SweepOutcome> Sweep::RunRepairs(
     const std::vector<SweepJob>& jobs) const {
+  CheckVersion("start");
   std::vector<SweepOutcome> outcomes(jobs.size());
   TaskGroup group(pool_.get());
   for (size_t i = 0; i < jobs.size(); ++i) {
@@ -28,6 +47,7 @@ std::vector<SweepOutcome> Sweep::RunRepairs(
     });
   }
   group.Wait();
+  CheckVersion("finish");
   return outcomes;
 }
 
@@ -43,6 +63,7 @@ std::vector<ModifyFdsResult> Sweep::RunSearches(
 
 std::vector<ModifyFdsResult> Sweep::RunSearches(
     const std::vector<SearchJob>& jobs) const {
+  CheckVersion("start");
   std::vector<ModifyFdsResult> results(jobs.size());
   TaskGroup group(pool_.get());
   for (size_t i = 0; i < jobs.size(); ++i) {
@@ -53,6 +74,7 @@ std::vector<ModifyFdsResult> Sweep::RunSearches(
     });
   }
   group.Wait();
+  CheckVersion("finish");
   return results;
 }
 

@@ -59,10 +59,26 @@ struct SearchJob {
 /// const interface is thread-safe by design). The worker pool is spawned
 /// once at construction and reused across Run* calls, so repeated sweeps
 /// (grid refinements, benchmark loops) pay no per-call thread churn.
+///
+/// Snapshot discipline: the sweep pins the context's data version
+/// (FdSearchContext::version()) at construction. Every Run* verifies the
+/// pin before scheduling AND after draining — so a sweep never starts
+/// against a context that was delta-patched since the pin (call Refresh()
+/// after an intentional FdSearchContext::ApplyDelta), and a delta that
+/// races a running sweep is detected instead of silently mixing pre- and
+/// post-delta answers (both cases throw std::logic_error).
 class Sweep {
  public:
   Sweep(const FdSearchContext& ctx, const EncodedInstance& inst,
         Options options = {});
+
+  /// Re-pins the context version after an intentional ApplyDelta.
+  /// Requires external exclusion against concurrent Run* calls (the
+  /// session's apply lock provides it).
+  void Refresh() { pinned_version_ = ctx_.version(); }
+
+  /// The version Run* will insist on.
+  uint64_t pinned_version() const { return pinned_version_; }
 
   /// Runs Algorithm 1 (RepairDataAndFds) for every job concurrently.
   std::vector<SweepOutcome> RunRepairs(const std::vector<SweepJob>& jobs) const;
@@ -81,10 +97,15 @@ class Sweep {
   const Options& options() const { return options_; }
 
  private:
+  /// Throws std::logic_error unless the context still carries the pinned
+  /// version (`when` names the offending phase in the message).
+  void CheckVersion(const char* when) const;
+
   const FdSearchContext& ctx_;
   const EncodedInstance& inst_;
   Options options_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when options are serial
+  uint64_t pinned_version_ = 0;
 };
 
 /// Absolute τ grid from relative trust levels τr ∈ [0, 1] against a root

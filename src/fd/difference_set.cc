@@ -1,6 +1,7 @@
 #include "src/fd/difference_set.h"
 
 #include <algorithm>
+#include <iterator>
 #include <unordered_map>
 
 #include "src/exec/parallel_for.h"
@@ -51,6 +52,127 @@ DifferenceSetIndex::DifferenceSetIndex(const EncodedInstance& inst,
               }
               return a.diff < b.diff;
             });
+}
+
+IndexPatch DifferenceSetIndex::ApplyDelta(const EncodedInstance& inst,
+                                          const FDSet& sigma,
+                                          const std::vector<TupleId>& dirty,
+                                          const std::vector<TupleId>& remap,
+                                          exec::ThreadPool* pool) {
+  IndexPatch patch;
+  const int new_n = inst.NumTuples();
+  std::vector<char> is_dirty(new_n, 0);
+  for (TupleId t : dirty) is_dirty[t] = 1;
+
+  // 1. Filter: drop every edge with a deleted or dirty endpoint. Relocated
+  // tuples are dirty by construction (delta.h), so every kept edge's
+  // endpoints still carry their old ids and the kept lists stay sorted.
+  struct Work {
+    AttrSet diff;
+    std::vector<Edge> edges;
+    int old_id = -1;
+    bool changed = false;
+  };
+  std::vector<Work> work;
+  work.reserve(groups_.size());
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    Work w;
+    w.diff = groups_[g].diff;
+    w.old_id = static_cast<int>(g);
+    w.edges.reserve(groups_[g].edges.size());
+    for (const Edge& e : groups_[g].edges) {
+      if (remap[e.u] < 0 || remap[e.v] < 0 || is_dirty[remap[e.u]] ||
+          is_dirty[remap[e.v]]) {
+        ++patch.edges_removed;
+        w.changed = true;
+      } else {
+        w.edges.push_back(e);
+      }
+    }
+    work.push_back(std::move(w));
+  }
+
+  // 2. Discover the edges in the delta's blast radius: every pair with a
+  // dirty endpoint, each unordered pair examined exactly once. Sharded
+  // over the relation; the canonical sort below erases chunk boundaries,
+  // so the result is identical for any thread count.
+  std::vector<std::pair<Edge, AttrSet>> found;
+  {
+    exec::ChunkPlan chunks = exec::PlanChunks(new_n, pool);
+    std::vector<std::vector<std::pair<Edge, AttrSet>>> per_chunk(
+        std::max(chunks.num_chunks, 1));
+    exec::ParallelFor(pool, chunks,
+                      [&](int64_t begin, int64_t end, int chunk) {
+                        auto& out = per_chunk[chunk];
+                        for (int64_t s = begin; s < end; ++s) {
+                          for (TupleId t : dirty) {
+                            if (is_dirty[s] && s >= t) continue;
+                            AttrSet diff = DiffSetOfPair(
+                                inst, t, static_cast<TupleId>(s));
+                            if (DiffSetViolates(diff, sigma)) {
+                              out.emplace_back(
+                                  Edge(t, static_cast<TupleId>(s)), diff);
+                            }
+                          }
+                        }
+                      });
+    for (auto& buf : per_chunk) {
+      found.insert(found.end(), buf.begin(), buf.end());
+    }
+    std::sort(found.begin(), found.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  patch.edges_added = static_cast<int64_t>(found.size());
+
+  // 3. Merge the new edges into their groups (kept and new lists are both
+  // sorted, and all pairs are distinct, so the merge reproduces the
+  // canonical ascending edge order of a from-scratch build).
+  std::unordered_map<AttrSet, int, AttrSetHash> by_diff;
+  by_diff.reserve(work.size());
+  for (size_t i = 0; i < work.size(); ++i) by_diff.emplace(work[i].diff, i);
+  std::vector<std::vector<Edge>> added(work.size());
+  for (const auto& [edge, diff] : found) {
+    auto [it, inserted] = by_diff.emplace(diff, static_cast<int>(work.size()));
+    if (inserted) {
+      work.push_back(Work{diff, {}, -1, true});
+      added.emplace_back();
+    }
+    work[it->second].changed = true;
+    added[it->second].push_back(edge);
+  }
+  for (size_t i = 0; i < work.size(); ++i) {
+    if (added[i].empty()) continue;
+    std::vector<Edge> merged;
+    merged.reserve(work[i].edges.size() + added[i].size());
+    std::merge(work[i].edges.begin(), work[i].edges.end(), added[i].begin(),
+               added[i].end(), std::back_inserter(merged));
+    work[i].edges = std::move(merged);
+  }
+
+  // 4. Re-rank in the canonical (frequency desc, diff asc) order and
+  // translate preserved group ids.
+  work.erase(std::remove_if(work.begin(), work.end(),
+                            [](const Work& w) { return w.edges.empty(); }),
+             work.end());
+  std::sort(work.begin(), work.end(), [](const Work& a, const Work& b) {
+    if (a.edges.size() != b.edges.size()) {
+      return a.edges.size() > b.edges.size();
+    }
+    return a.diff < b.diff;
+  });
+  patch.old_to_new.assign(groups_.size(), -1);
+  groups_.clear();
+  groups_.reserve(work.size());
+  for (size_t i = 0; i < work.size(); ++i) {
+    if (work[i].old_id >= 0 && !work[i].changed) {
+      patch.old_to_new[work[i].old_id] = static_cast<int32_t>(i);
+      ++patch.groups_preserved;
+    }
+    groups_.push_back({work[i].diff, std::move(work[i].edges)});
+  }
+  patch.groups_changed = static_cast<int>(groups_.size()) -
+                         patch.groups_preserved;
+  return patch;
 }
 
 std::vector<int> DifferenceSetIndex::ViolatingGroups(const FDSet& fds) const {

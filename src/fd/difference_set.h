@@ -29,6 +29,23 @@ struct DiffSetGroup {
   int64_t frequency() const { return static_cast<int64_t>(edges.size()); }
 };
 
+/// How a delta landed on a DifferenceSetIndex: the group-id translation
+/// consumers of the canonical group order (violation table, cover memo)
+/// need to stay warm, plus blast-radius counters for observability.
+struct IndexPatch {
+  /// Pre-patch group id -> post-patch group id for groups whose difference
+  /// set AND edge list survived the delta untouched; -1 for groups that
+  /// gained/lost edges or were dropped. Preserved groups keep their
+  /// relative order (the (frequency, diff) sort key is a total order and
+  /// their keys did not change), which is what lets cover-memo entries
+  /// over preserved groups be remapped instead of recomputed.
+  std::vector<int32_t> old_to_new;
+  int64_t edges_removed = 0;
+  int64_t edges_added = 0;
+  int groups_preserved = 0;  ///< old groups with old_to_new[g] >= 0
+  int groups_changed = 0;    ///< post-patch groups that are new or changed
+};
+
 /// Conflict edges grouped by difference set, ordered by descending edge
 /// frequency (ties: smaller attribute mask first) — the order in which the
 /// heuristic prefers to pick them.
@@ -45,6 +62,21 @@ class DifferenceSetIndex {
   /// overload for any thread count.
   DifferenceSetIndex(const EncodedInstance& inst, const ConflictGraph& cg,
                      exec::ThreadPool* pool);
+
+  /// Incrementally maintains the index after `inst` had a delta applied
+  /// (delta.h). `dirty` is the plan's post-delta dirty id set (ascending)
+  /// and `remap` its old->new id map; the index must have been built over
+  /// the pre-delta instance with the same `sigma`. Surviving clean edges
+  /// are kept as-is, only pairs with a dirty endpoint are (re)examined —
+  /// O(Δ·n·m) comparisons sharded on `pool` (nullable = serial) — and the
+  /// result is BIT-IDENTICAL to BuildDifferenceSetIndex over the
+  /// post-delta instance for any thread count (the index is a pure
+  /// function of {pair -> difference set}, and the delta only changes
+  /// pairs with a dirty endpoint).
+  IndexPatch ApplyDelta(const EncodedInstance& inst, const FDSet& sigma,
+                        const std::vector<TupleId>& dirty,
+                        const std::vector<TupleId>& remap,
+                        exec::ThreadPool* pool);
 
   int size() const { return static_cast<int>(groups_.size()); }
   bool empty() const { return groups_.empty(); }

@@ -6,6 +6,23 @@
 
 namespace retrust {
 
+namespace {
+
+/// The state-independent incidence of one difference set with Σ:
+/// bit i set iff A_i ∈ d ∧ X_i ∩ d = ∅.
+uint64_t IncidenceMask(const FDSet& sigma, AttrSet diff) {
+  uint64_t mask = 0;
+  for (int i = 0; i < sigma.size(); ++i) {
+    const FD& fd = sigma.fd(i);
+    if (diff.Contains(fd.rhs) && !fd.lhs.Intersects(diff)) {
+      mask |= uint64_t{1} << i;
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
 ViolationTable::ViolationTable(const FDSet& sigma,
                                const DifferenceSetIndex& index,
                                exec::ThreadPool* pool)
@@ -22,19 +39,50 @@ ViolationTable::ViolationTable(const FDSet& sigma,
                       for (int64_t g = begin; g < end; ++g) {
                         AttrSet diff = index.group(static_cast<int>(g)).diff;
                         diff_bits_[g] = diff.bits();
-                        uint64_t mask = 0;
-                        for (int i = 0; i < num_fds_; ++i) {
-                          const FD& fd = sigma.fd(i);
-                          if (diff.Contains(fd.rhs) &&
-                              !fd.lhs.Intersects(diff)) {
-                            mask |= uint64_t{1} << i;
-                          }
-                        }
-                        fd_mask_[g] = mask;
+                        fd_mask_[g] = IncidenceMask(sigma, diff);
                       }
                     });
-  // Serial per-FD candidate assembly in canonical group order.
-  cand_groups_.resize(num_fds_);
+  RebuildCandidates();
+}
+
+int ViolationTable::ApplyPatch(const FDSet& sigma,
+                               const DifferenceSetIndex& index,
+                               const std::vector<int32_t>& old_to_new,
+                               exec::ThreadPool* pool) {
+  // Preserved groups carry their incidence row over (it depends only on
+  // the difference set, which "preserved" implies is unchanged).
+  std::vector<uint64_t> fd_mask(index.size(), 0);
+  std::vector<uint64_t> diff_bits(index.size(), 0);
+  std::vector<char> filled(index.size(), 0);
+  for (size_t g = 0; g < old_to_new.size(); ++g) {
+    int32_t ng = old_to_new[g];
+    if (ng < 0) continue;
+    fd_mask[ng] = fd_mask_[g];
+    diff_bits[ng] = diff_bits_[g];
+    filled[ng] = 1;
+  }
+  int recomputed = 0;
+  for (char f : filled) recomputed += f == 0;
+  // Changed/new groups recompute into disjoint slots (deterministic for
+  // any thread count, like the constructor).
+  exec::ParallelFor(pool, index.size(),
+                    [&](int64_t begin, int64_t end, int /*chunk*/) {
+                      for (int64_t g = begin; g < end; ++g) {
+                        if (filled[g]) continue;
+                        AttrSet diff = index.group(static_cast<int>(g)).diff;
+                        diff_bits[g] = diff.bits();
+                        fd_mask[g] = IncidenceMask(sigma, diff);
+                      }
+                    });
+  num_groups_ = index.size();
+  fd_mask_ = std::move(fd_mask);
+  diff_bits_ = std::move(diff_bits);
+  RebuildCandidates();
+  return recomputed;
+}
+
+void ViolationTable::RebuildCandidates() {
+  cand_groups_.assign(num_fds_, {});
   cand_mask_.assign(num_fds_, GroupBitset(num_groups_));
   for (int g = 0; g < num_groups_; ++g) {
     uint64_t mask = fd_mask_[g];

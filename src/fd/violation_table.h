@@ -44,6 +44,19 @@ class ViolationTable {
   ViolationTable(const FDSet& sigma, const DifferenceSetIndex& index,
                  exec::ThreadPool* pool = nullptr);
 
+  /// Incrementally maintains the table after `index` was patched by a
+  /// delta (same `sigma` as the build). A group's incidence row is a pure
+  /// function of (difference set, Σ), so preserved groups copy their old
+  /// rows through `old_to_new` and only changed/new groups recompute
+  /// (sharded on `pool`, nullable = serial); the per-FD candidate
+  /// assembly reruns in the new canonical order. Bit-identical to a
+  /// from-scratch build for any thread count. Returns the number of
+  /// groups whose incidence was recomputed. Requires external exclusion
+  /// against concurrent readers (the session's version layer provides it).
+  int ApplyPatch(const FDSet& sigma, const DifferenceSetIndex& index,
+                 const std::vector<int32_t>& old_to_new,
+                 exec::ThreadPool* pool = nullptr);
+
   int num_fds() const { return num_fds_; }
   int num_groups() const { return num_groups_; }
 
@@ -71,6 +84,10 @@ class ViolationTable {
   const GroupBitset& candidates(int i) const { return cand_mask_[i]; }
 
  private:
+  /// Rebuilds cand_groups_/cand_mask_ from fd_mask_ serially in canonical
+  /// group order (shared by the constructor and ApplyPatch).
+  void RebuildCandidates();
+
   int num_fds_ = 0;
   int num_groups_ = 0;
   std::vector<uint64_t> fd_mask_;    // per group: FDs it can violate

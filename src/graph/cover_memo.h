@@ -62,12 +62,33 @@ class CoverMemo {
     }
   };
 
+  /// What Rebind kept warm vs dropped (for ApplyStats/observability).
+  struct RebindStats {
+    size_t entries_kept = 0;
+    size_t entries_dropped = 0;
+  };
+
   /// `groups[g]` is group g's edge list; the pointed-to vectors must
   /// outlive the memo (FdSearchContext owns the DifferenceSetIndex they
   /// live in). `max_entries` caps EACH memo map; overflow disables
   /// insertion but never lookup (results stay exact, only colder).
   CoverMemo(std::vector<const std::vector<Edge>*> groups,
             int32_t num_vertices, size_t max_entries = size_t{1} << 20);
+
+  /// Rebinds the memo to a delta-patched group family: `groups` replaces
+  /// the edge-list bindings and `old_to_new` is the IndexPatch id
+  /// translation (-1 = group changed or dropped). Cached covers whose key
+  /// touches only preserved groups are REMAPPED and stay warm — valid
+  /// because preserved groups keep their edge lists and their relative
+  /// order under the canonical (frequency, diff) ranking, so a fresh
+  /// ascending-order greedy scan of the remapped key replays the cached
+  /// one move for move. Everything else (and all prefix-resume scratch
+  /// hints, which are keyed by old ids) is dropped. Requires external
+  /// exclusion against concurrent queries (the session's version layer
+  /// provides it).
+  RebindStats Rebind(std::vector<const std::vector<Edge>*> groups,
+                     int32_t num_vertices,
+                     const std::vector<int32_t>& old_to_new);
 
   /// Matching-cover size of the union of the set groups' edges, scanned in
   /// ascending group-index order (the canonical state-evaluation order).

@@ -6,16 +6,49 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "src/relational/instance.h"
 
 namespace retrust {
 
+/// Streaming CSV record reader (RFC-4180 quoting): the header is parsed at
+/// construction, data records are pulled one at a time — peak transient
+/// memory is a single record, which is what lets ReadCsvFile and the
+/// csv_repair_tool append path handle files much larger than the raw text.
+class CsvReader {
+ public:
+  /// Reads the header record; throws std::runtime_error when missing.
+  explicit CsvReader(std::istream& in);
+
+  const std::vector<std::string>& header() const { return header_; }
+  int num_fields() const { return static_cast<int>(header_.size()); }
+
+  /// Reads the next data record into `fields` (blank lines are skipped).
+  /// Returns false at end of input; throws std::runtime_error when a
+  /// record's arity does not match the header.
+  bool Next(std::vector<std::string>* fields);
+
+ private:
+  std::istream& in_;
+  std::vector<std::string> header_;
+};
+
+/// Parses one raw CSV field under a resolved column type: empty fields
+/// become NULL, the rest parse as the type. Returns false (leaving *out
+/// untouched) when a non-empty field does not conform — the non-throwing
+/// companion to the readers, for streaming appenders that map rows onto
+/// an existing schema.
+bool TryParseCsvField(const std::string& field, AttrType type, Value* out);
+
 /// Parses CSV text (header + rows, RFC-4180 quoting) into an Instance.
 /// Throws std::runtime_error on malformed input.
 Instance ReadCsv(std::istream& in);
 
-/// Reads a CSV file. Throws std::runtime_error if the file cannot be opened.
+/// Reads a CSV file in two streaming passes — one to infer column types,
+/// one to build the rows — so peak memory is the Instance plus one record,
+/// never a second raw-text copy of the file. Same result as ReadCsv on the
+/// file's contents. Throws std::runtime_error if the file cannot be opened.
 Instance ReadCsvFile(const std::string& path);
 
 /// Writes `inst` (header + rows) as CSV. Variables render as "?Attr<i>".

@@ -1,7 +1,9 @@
 #include "src/relational/dictionary.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "src/relational/delta.h"
 #include "src/util/hash.h"
 
 namespace retrust {
@@ -37,6 +39,36 @@ EncodedInstance::EncodedInstance(const Instance& inst)
         code = dicts_[a].Intern(v);
       }
       codes_[Flat(t, a)] = code;
+    }
+  }
+}
+
+int32_t EncodedInstance::EncodeValue(const Value& v, AttrId a) {
+  if (v.is_variable()) {
+    int32_t idx = v.AsVariable().index;
+    next_var_[a] = std::max(next_var_[a], idx + 1);
+    return VariableCode(idx);
+  }
+  return dicts_[a].Intern(v);
+}
+
+void EncodedInstance::ApplyDelta(const DeltaBatch& delta,
+                                 const DeltaPlan& plan) {
+  for (const CellUpdate& u : delta.updates) {
+    codes_[Flat(u.tuple, u.attr)] = EncodeValue(u.value, u.attr);
+  }
+  for (const auto& [dst, src] : plan.moves) {
+    std::copy_n(codes_.begin() + Flat(src, 0), m_,
+                codes_.begin() + Flat(dst, 0));
+  }
+  const int live = plan.new_num_tuples - static_cast<int>(delta.inserts.size());
+  n_ = plan.new_num_tuples;
+  codes_.resize(static_cast<size_t>(n_) * m_);
+  for (size_t i = 0; i < delta.inserts.size(); ++i) {
+    const Tuple& t = delta.inserts[i];
+    TupleId row = live + static_cast<TupleId>(i);
+    for (AttrId a = 0; a < m_; ++a) {
+      codes_[Flat(row, a)] = EncodeValue(t[a], a);
     }
   }
 }

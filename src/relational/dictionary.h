@@ -53,6 +53,15 @@ class EncodedInstance {
   /// Encodes `inst`. Variables keep their indices (as negative codes).
   explicit EncodedInstance(const Instance& inst);
 
+  /// Applies a mutation batch in the canonical order (delta.h), mirroring
+  /// Instance::ApplyDelta positionally. Updated and inserted constants
+  /// reuse existing dictionary codes (new values are interned, the
+  /// dictionaries only ever grow — codes are stable across deltas, so
+  /// untouched cells keep their codes and derived structures can be
+  /// patched instead of rebuilt). `plan` must come from PlanDelta against
+  /// this instance's current shape.
+  void ApplyDelta(const DeltaBatch& delta, const DeltaPlan& plan);
+
   const Schema& schema() const { return schema_; }
   int NumTuples() const { return n_; }
   int NumAttrs() const { return m_; }
@@ -96,6 +105,10 @@ class EncodedInstance {
   size_t Flat(TupleId t, AttrId a) const {
     return static_cast<size_t>(t) * m_ + a;
   }
+
+  /// Encodes one value for attribute `a` (interning constants, keeping
+  /// variable indices and the fresh-variable counter consistent).
+  int32_t EncodeValue(const Value& v, AttrId a);
 
   Schema schema_;
   int n_ = 0;

@@ -19,6 +19,9 @@
 
 namespace retrust {
 
+struct DeltaBatch;
+struct DeltaPlan;
+
 /// Index of a tuple within an instance.
 using TupleId = int32_t;
 
@@ -52,6 +55,11 @@ class Instance {
 
   /// Appends a tuple; must have exactly NumAttrs() cells.
   void AddTuple(Tuple t);
+
+  /// Applies a mutation batch in the canonical order (delta.h): updates,
+  /// swap-remove deletes, appends. `plan` must come from PlanDelta against
+  /// this instance's current shape; all validation happened there.
+  void ApplyDelta(const DeltaBatch& delta, const DeltaPlan& plan);
 
   const Tuple& row(TupleId t) const { return rows_[t]; }
   const Value& At(TupleId t, AttrId a) const { return rows_[t][a]; }

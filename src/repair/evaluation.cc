@@ -24,6 +24,16 @@ DeltaPEvaluator::DeltaPEvaluator(const FDSet& sigma,
   table_ = ViolationTable(sigma, index, pool.get());
 }
 
+DeltaPEvaluator::PatchStats DeltaPEvaluator::ApplyDelta(
+    const FDSet& sigma, const DifferenceSetIndex& index, int num_tuples,
+    const std::vector<int32_t>& old_to_new, exec::ThreadPool* pool) {
+  PatchStats stats;
+  stats.table_groups_recomputed =
+      table_.ApplyPatch(sigma, index, old_to_new, pool);
+  stats.memo = memo_.Rebind(GroupEdgeLists(index), num_tuples, old_to_new);
+  return stats;
+}
+
 std::vector<int> DeltaPEvaluator::ViolatedGroupIds(
     const SearchState& s) const {
   std::unique_ptr<KeyScratch> key = AcquireKey();

@@ -38,6 +38,23 @@ class DeltaPEvaluator {
   DeltaPEvaluator(const FDSet& sigma, const DifferenceSetIndex& index,
                   int num_tuples, const exec::Options& eopts = {});
 
+  /// What a delta did to the evaluator's caches.
+  struct PatchStats {
+    int table_groups_recomputed = 0;
+    CoverMemo::RebindStats memo;
+  };
+
+  /// Incrementally maintains the evaluator after `index` (the SAME index
+  /// this evaluator was built over) was patched by a delta: preserved
+  /// incidence rows are copied, changed ones recomputed (sharded on
+  /// `pool`, nullable = serial), and cached covers over preserved groups
+  /// are remapped instead of dropped. Post-patch answers are bit-identical
+  /// to a freshly built evaluator. Requires external exclusion against
+  /// concurrent queries (the session's version layer provides it).
+  PatchStats ApplyDelta(const FDSet& sigma, const DifferenceSetIndex& index,
+                        int num_tuples, const std::vector<int32_t>& old_to_new,
+                        exec::ThreadPool* pool);
+
   const ViolationTable& table() const { return table_; }
   const CoverMemo& memo() const { return memo_; }
 

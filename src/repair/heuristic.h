@@ -73,6 +73,11 @@ class GcHeuristic {
 
   int64_t alpha() const { return alpha_; }
 
+  /// Tracks an instance resize after a delta (α is cardinality-independent;
+  /// only the legacy scan path's cover scratch sizing uses the count).
+  /// Requires external exclusion against concurrent Compute() calls.
+  void SetNumTuples(int num_tuples) { num_tuples_ = num_tuples; }
+
   /// gc(S) under threshold `tau`; +infinity when no goal state descends
   /// from `s` within the inspected difference sets. Never below Cost(s).
   double Compute(const SearchState& s, int64_t tau, SearchStats* stats) const;

@@ -25,6 +25,26 @@ FdSearchContext::FdSearchContext(const FDSet& sigma,
       heuristic_(sigma_, space_, weights_, index_, inst.NumTuples(), hopts,
                  evaluator_.get()) {}
 
+FdSearchContext::DeltaReport FdSearchContext::ApplyDelta(
+    const EncodedInstance& inst, const std::vector<TupleId>& dirty,
+    const std::vector<TupleId>& remap, const exec::Options& eopts) {
+  std::unique_ptr<exec::ThreadPool> pool = exec::MakePool(eopts);
+  return ApplyDelta(inst, dirty, remap, pool.get());
+}
+
+FdSearchContext::DeltaReport FdSearchContext::ApplyDelta(
+    const EncodedInstance& inst, const std::vector<TupleId>& dirty,
+    const std::vector<TupleId>& remap, exec::ThreadPool* pool) {
+  DeltaReport report;
+  report.index = index_.ApplyDelta(inst, sigma_, dirty, remap, pool);
+  report.evaluator = evaluator_->ApplyDelta(
+      sigma_, index_, inst.NumTuples(), report.index.old_to_new, pool);
+  num_tuples_ = inst.NumTuples();
+  heuristic_.SetNumTuples(inst.NumTuples());
+  report.version = version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  return report;
+}
+
 int64_t FdSearchContext::CoverSize(const SearchState& s,
                                    SearchStats* stats) const {
   // δP pipeline (DESIGN.md): the violation table materializes the groups

@@ -12,6 +12,7 @@
 #ifndef RETRUST_REPAIR_MODIFY_FDS_H_
 #define RETRUST_REPAIR_MODIFY_FDS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -106,6 +107,43 @@ class FdSearchContext {
                   const HeuristicOptions& hopts = {},
                   const exec::Options& eopts = {});
 
+  /// Aggregate of what one delta did to this context's structures.
+  struct DeltaReport {
+    IndexPatch index;
+    DeltaPEvaluator::PatchStats evaluator;
+    uint64_t version = 0;  ///< the context version after the patch
+  };
+
+  /// Delta-maintains the context after `inst` — the SAME instance this
+  /// context was built over — had a DeltaBatch applied in place (delta.h).
+  /// `dirty`/`remap` come from the batch's DeltaPlan. The difference-set
+  /// index is patched in O(Δ·n) (sharded per `eopts`), the violation
+  /// table copies preserved incidence rows, and warm covers over
+  /// preserved groups are remapped; every post-delta answer is
+  /// BIT-IDENTICAL to a context freshly built over the mutated instance,
+  /// for any thread count. Bumps version(); in-flight exec::Sweep runs
+  /// detect the bump and refuse to mix snapshots. NOT safe against
+  /// concurrent const use — callers serialize deltas against queries
+  /// (retrust::Session does this with a shared/exclusive lock).
+  DeltaReport ApplyDelta(const EncodedInstance& inst,
+                         const std::vector<TupleId>& dirty,
+                         const std::vector<TupleId>& remap,
+                         const exec::Options& eopts = {});
+
+  /// Same on an existing pool (nullable = serial) — lets one Apply reuse
+  /// one pool across many cached contexts instead of spawning a pool per
+  /// context (Session::Apply's loop).
+  DeltaReport ApplyDelta(const EncodedInstance& inst,
+                         const std::vector<TupleId>& dirty,
+                         const std::vector<TupleId>& remap,
+                         exec::ThreadPool* pool);
+
+  /// Monotone data-snapshot version, bumped by every ApplyDelta. Safe to
+  /// read concurrently with queries (exec::Sweep polls it).
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
   const FDSet& sigma() const { return sigma_; }
   const StateSpace& space() const { return space_; }
   const DifferenceSetIndex& index() const { return index_; }
@@ -135,6 +173,7 @@ class FdSearchContext {
   std::unique_ptr<DeltaPEvaluator> evaluator_;  ///< built over index_
   const WeightFunction& weights_;
   GcHeuristic heuristic_;
+  std::atomic<uint64_t> version_{1};
 };
 
 /// Algorithm 2: cheapest Σ' with δP(Σ', I) ≤ τ (ties broken by δP when

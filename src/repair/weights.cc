@@ -28,6 +28,11 @@ double DistinctCountWeight::Weight(AttrSet y) const {
   return w;
 }
 
+void DistinctCountWeight::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
 double EntropyWeight::Weight(AttrSet y) const {
   if (y.Empty()) return 0.0;
   {
@@ -52,6 +57,11 @@ double EntropyWeight::Weight(AttrSet y) const {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.emplace(y, h);
   return h;
+}
+
+void EntropyWeight::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
 }
 
 }  // namespace retrust

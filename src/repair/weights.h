@@ -7,7 +7,10 @@
 // number of distinct values of the appended attribute set in the *initial*
 // instance (more informative attributes are more expensive to append);
 // weights are frozen against the initial I (§3.1 simplifying assumption),
-// which the memoizing implementations here rely on.
+// which the memoizing implementations here rely on. Under the incremental
+// update engine "initial" means "as of the last delta": Session::Apply
+// calls Invalidate() after mutating the instance, so memoized projections
+// refresh lazily against the post-delta data.
 
 #ifndef RETRUST_REPAIR_WEIGHTS_H_
 #define RETRUST_REPAIR_WEIGHTS_H_
@@ -29,6 +32,12 @@ class WeightFunction {
   /// w(Y). Must be non-negative, monotone, and 0 for the empty set.
   virtual double Weight(AttrSet y) const = 0;
 
+  /// Drops any memoized state derived from the underlying instance; called
+  /// after the instance mutates (Session::Apply). Instance-independent
+  /// weights are a no-op. Requires external exclusion against concurrent
+  /// Weight() calls.
+  virtual void Invalidate() {}
+
   /// distc contribution of a whole extension vector: Σ_i w(Y_i).
   double Cost(const std::vector<AttrSet>& extensions) const;
 };
@@ -49,6 +58,7 @@ class DistinctCountWeight final : public WeightFunction {
   explicit DistinctCountWeight(const EncodedInstance& inst) : inst_(inst) {}
 
   double Weight(AttrSet y) const override;
+  void Invalidate() override;
 
  private:
   const EncodedInstance& inst_;
@@ -63,6 +73,7 @@ class EntropyWeight final : public WeightFunction {
   explicit EntropyWeight(const EncodedInstance& inst) : inst_(inst) {}
 
   double Weight(AttrSet y) const override;
+  void Invalidate() override;
 
  private:
   const EncodedInstance& inst_;

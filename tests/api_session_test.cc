@@ -83,7 +83,7 @@ TEST(SessionOpen, ParsesFdsAndBuildsContext) {
   ASSERT_TRUE(session.ok()) << session.status().ToString();
   EXPECT_EQ(session->fds().size(), 1);
   EXPECT_GT(session->RootDeltaP(), 0);
-  EXPECT_EQ(session->CachedContexts(), 1u);
+  EXPECT_EQ(session->CachedContexts().cached, 1u);
 }
 
 TEST(SessionOpen, BadFdTextIsInvalidFd) {
@@ -230,13 +230,13 @@ TEST(SessionCache, SameFingerprintReusesContext) {
   ASSERT_TRUE(session->SetFds({"Name->Zip"}).ok());
   EXPECT_NE(&session->context(), first);
   EXPECT_NE(session->ContextFingerprint(), fp);
-  EXPECT_EQ(session->CachedContexts(), 2u);
+  EXPECT_EQ(session->CachedContexts().cached, 2u);
 
   // Switching back lands on the SAME cached context, not a rebuild.
   ASSERT_TRUE(session->SetFds({"City->Zip"}).ok());
   EXPECT_EQ(&session->context(), first);
   EXPECT_EQ(session->ContextFingerprint(), fp);
-  EXPECT_EQ(session->CachedContexts(), 2u);
+  EXPECT_EQ(session->CachedContexts().cached, 2u);
 }
 
 TEST(SessionCache, WeightModelIsPartOfTheFingerprint) {
@@ -245,10 +245,10 @@ TEST(SessionCache, WeightModelIsPartOfTheFingerprint) {
   uint64_t fp = session->ContextFingerprint();
   ASSERT_TRUE(session->SetWeights(WeightModel::kCardinality).ok());
   EXPECT_NE(session->ContextFingerprint(), fp);
-  EXPECT_EQ(session->CachedContexts(), 2u);
+  EXPECT_EQ(session->CachedContexts().cached, 2u);
   ASSERT_TRUE(session->SetWeights(WeightModel::kDistinctCount).ok());
   EXPECT_EQ(session->ContextFingerprint(), fp);
-  EXPECT_EQ(session->CachedContexts(), 2u);
+  EXPECT_EQ(session->CachedContexts().cached, 2u);
 }
 
 // The cached context keeps its warm cover memo across Σ switches: repeated
@@ -396,6 +396,68 @@ TEST(SessionCancel, MidBatchCancellationDrainsCleanly) {
   for (const Result<RepairResponse>& r : session->RepairMany(again)) {
     EXPECT_TRUE(r.ok()) << r.status().ToString();
   }
+}
+
+// --- Context-cache eviction (SessionOptions::max_cached_contexts) --------
+
+TEST(SessionEviction, LruBoundEvictsColdestContext) {
+  SessionOptions opts;
+  opts.max_cached_contexts = 2;
+  Result<Session> session =
+      Session::Open(SmallInstance(), {"City->Zip"}, opts);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session->CachedContexts().cached, 1u);
+
+  ASSERT_TRUE(session->SetFds({"Name->Zip"}).ok());
+  EXPECT_EQ(session->CachedContexts().cached, 2u);
+  EXPECT_EQ(session->CachedContexts().evictions, 0u);
+
+  // Third distinct Σ: the coldest ("City->Zip", least recently used)
+  // must make room.
+  ASSERT_TRUE(session->SetFds({"Name->City"}).ok());
+  ContextCacheStats stats = session->CachedContexts();
+  EXPECT_EQ(stats.cached, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+
+  // Revisiting the evicted fingerprint is a rebuild, not a hit ...
+  ASSERT_TRUE(session->SetFds({"City->Zip"}).ok());
+  stats = session->CachedContexts();
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.cached, 2u);
+
+  // ... while a still-cached one is a hit ("Name->City" stayed warm).
+  ASSERT_TRUE(session->SetFds({"Name->City"}).ok());
+  stats = session->CachedContexts();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.cached, 2u);
+}
+
+TEST(SessionEviction, ActiveContextIsNeverEvicted) {
+  SessionOptions opts;
+  opts.max_cached_contexts = 1;
+  Result<Session> session =
+      Session::Open(SmallInstance(), {"City->Zip"}, opts);
+  ASSERT_TRUE(session.ok());
+  for (const char* fd : {"Name->Zip", "Name->City", "City->Zip"}) {
+    ASSERT_TRUE(session->SetFds({fd}).ok());
+    // The freshly activated context survives its own eviction pass and
+    // answers requests.
+    EXPECT_EQ(session->CachedContexts().cached, 1u);
+    EXPECT_GE(session->RootDeltaP(), 0);
+  }
+  EXPECT_EQ(session->CachedContexts().evictions, 3u);
+}
+
+TEST(SessionEviction, UnboundedByDefault) {
+  Result<Session> session = Session::Open(SmallInstance(), {"City->Zip"});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->SetFds({"Name->Zip"}).ok());
+  ASSERT_TRUE(session->SetFds({"Name->City"}).ok());
+  ContextCacheStats stats = session->CachedContexts();
+  EXPECT_EQ(stats.cached, 3u);
+  EXPECT_EQ(stats.evictions, 0u);
 }
 
 // --- Range enumeration ---------------------------------------------------
