@@ -1,0 +1,183 @@
+// Service-layer throughput: requests/sec and tail latency of the
+// multi-tenant Server across worker counts and tenant counts.
+//
+// Models the ROADMAP's target traffic shape: many independent repair
+// requests (mixed τr grid points, the Fig. 12 workload) arriving for one
+// or several datasets, drained by a shared worker pool with fair
+// round-robin across tenants. The interesting numbers are the scaling of
+// requests/sec with workers (cross-request parallelism — every Session
+// verb itself runs serially) and the p99 latency under a full queue.
+//
+// Prints a table over workers ∈ {1, 2, 4, 8} × tenants ∈ {1, 4} and
+// writes BENCH_service.json with every row plus the headline (8 workers,
+// 4 tenants).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/eval/generator.h"
+#include "src/eval/perturb.h"
+#include "src/service/server.h"
+#include "src/util/timer.h"
+
+using namespace retrust;
+using namespace retrust::service;
+
+namespace {
+
+struct Row {
+  int workers = 0;
+  int tenants = 0;
+  int requests = 0;
+  double seconds = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+
+  double rps() const { return seconds > 0 ? requests / seconds : 0.0; }
+};
+
+Instance TenantData(int n, uint64_t seed) {
+  CensusConfig gen;
+  gen.num_tuples = n;
+  gen.num_attrs = 8;
+  gen.planted_lhs_sizes = {2, 2};
+  gen.seed = seed;
+  PerturbOptions perturb;
+  perturb.data_error_rate = 0.02;
+  perturb.fd_error_rate = 0.5;
+  perturb.seed = seed + 1;
+  GeneratedData clean = GenerateCensusLike(gen);
+  return Perturb(clean.instance, clean.planted_fds, perturb).data;
+}
+
+std::vector<std::string> TenantFds(int n, uint64_t seed) {
+  CensusConfig gen;
+  gen.num_tuples = n;
+  gen.num_attrs = 8;
+  gen.planted_lhs_sizes = {2, 2};
+  gen.seed = seed;
+  GeneratedData clean = GenerateCensusLike(gen);
+  std::vector<std::string> texts;
+  Schema schema = clean.instance.schema();
+  for (const FD& fd : clean.planted_fds.fds()) {
+    texts.push_back(fd.ToString(schema));
+  }
+  return texts;
+}
+
+Row Measure(int workers, int num_tenants, int requests_per_tenant, int n) {
+  ServerOptions opts;
+  opts.workers = workers;
+  opts.queue_capacity = 16384;
+  Server server(opts);
+
+  for (int t = 0; t < num_tenants; ++t) {
+    uint64_t seed = 100 + static_cast<uint64_t>(t) * 17;
+    Status status = server.LoadTenant("tenant" + std::to_string(t),
+                                      TenantData(n, seed), TenantFds(n, seed));
+    if (!status.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  // Warm every tenant's weight memos outside the timed window, like a
+  // live service that has answered at least one request per dataset.
+  // Directly against the Session, NOT through the queue: warm-up samples
+  // must not land in the latency histogram the p50/p99 columns report.
+  Client client = server.client();
+  for (int t = 0; t < num_tenants; ++t) {
+    Result<std::shared_ptr<Session>> session =
+        server.tenants().Get("tenant" + std::to_string(t));
+    (void)(*session)->Repair(RepairRequest::AtRelative(1.0));
+  }
+
+  const std::vector<double> taus_r = {0.25, 0.5, 0.75, 1.0};
+  Row row;
+  row.workers = workers;
+  row.tenants = num_tenants;
+
+  Timer timer;
+  std::vector<Submitted<Result<RepairResponse>>> pending;
+  for (int i = 0; i < requests_per_tenant; ++i) {
+    for (int t = 0; t < num_tenants; ++t) {
+      RepairRequest req =
+          RepairRequest::AtRelative(taus_r[static_cast<size_t>(i) % taus_r.size()]);
+      req.seed = static_cast<uint64_t>(i) + 1;
+      pending.push_back(
+          client.Repair("tenant" + std::to_string(t), req));
+    }
+  }
+  for (auto& p : pending) {
+    Result<RepairResponse> response = p.future.get();
+    if (!response.ok() &&
+        response.status().code() != StatusCode::kNoRepairWithinTau) {
+      std::fprintf(stderr, "request failed: %s\n",
+                   response.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  row.seconds = timer.ElapsedSeconds();
+  row.requests = static_cast<int>(pending.size());
+
+  ServerStats stats = client.Stats();
+  row.p50 = stats.p50_latency_seconds;
+  row.p99 = stats.p99_latency_seconds;
+  if (stats.rejected() != 0) {
+    std::fprintf(stderr, "unexpected rejections under capacity: %llu\n",
+                 static_cast<unsigned long long>(stats.rejected()));
+    std::exit(1);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const int n = bench::ScaledN(400);
+  const int requests_per_tenant = bench::ScaledN(24);
+
+  bench::Banner("service", "multi-tenant Server throughput");
+  std::printf("n = %d tuples/tenant, %d requests/tenant\n\n", n,
+              requests_per_tenant);
+  std::printf("%8s %8s %10s %10s %12s %12s\n", "workers", "tenants",
+              "requests", "req/s", "p50 (ms)", "p99 (ms)");
+
+  std::vector<Row> rows;
+  for (int tenants : {1, 4}) {
+    for (int workers : {1, 2, 4, 8}) {
+      Row row = Measure(workers, tenants, requests_per_tenant, n);
+      std::printf("%8d %8d %10d %10.1f %12.2f %12.2f\n", row.workers,
+                  row.tenants, row.requests, row.rps(), row.p50 * 1e3,
+                  row.p99 * 1e3);
+      rows.push_back(row);
+    }
+  }
+
+  const Row& headline = rows.back();  // 8 workers x 4 tenants
+  FILE* json = bench::OpenBenchJson("service");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(json,
+                   "    {\"workers\": %d, \"tenants\": %d, \"requests\": %d, "
+                   "\"seconds\": %.6f, \"rps\": %.2f, "
+                   "\"p50_seconds\": %.6f, \"p99_seconds\": %.6f}%s\n",
+                   r.workers, r.tenants, r.requests, r.seconds, r.rps(),
+                   r.p50, r.p99, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n"
+                 "  \"headline_workers\": %d,\n"
+                 "  \"headline_tenants\": %d,\n"
+                 "  \"headline_rps\": %.2f,\n"
+                 "  \"headline_p99_seconds\": %.6f\n"
+                 "}\n",
+                 headline.workers, headline.tenants, headline.rps(),
+                 headline.p99);
+    std::fclose(json);
+  }
+  return 0;
+}

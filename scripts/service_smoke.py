@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Loopback smoke test of tools/retrust_server (CI's Release service step).
+
+Usage: service_smoke.py <path/to/retrust_server>
+
+Launches the server on an ephemeral port, registers two CSV tenants, and
+drives a mixed repair + sweep + apply_delta workload from concurrent
+connections (one per tenant plus one mixed). Asserts:
+
+  * every response is ok,
+  * ZERO requests were rejected — the workload stays under capacity, so
+    any shed request is an admission-control bug,
+  * per-tenant stats see the deltas (data_version advanced, tuples grew),
+  * the server exits 0 after the shutdown verb.
+"""
+
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+
+
+def write_tenant_csv(path, num_rows, violation_stride):
+    """City->Zip mostly holds; every `violation_stride`-th row breaks it."""
+    with open(path, "w") as f:
+        f.write("Name,City,Zip\n")
+        for i in range(num_rows):
+            city = f"City{i % 7}"
+            zipc = f"Z{i % 7}" if i % violation_stride else f"ZBAD{i}"
+            f.write(f"P{i},{city},{zipc}\n")
+
+
+class Conn:
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=60)
+        self.file = self.sock.makefile("rw")
+
+    def rpc(self, obj):
+        self.file.write(json.dumps(obj) + "\n")
+        self.file.flush()
+        reply = json.loads(self.file.readline())
+        return reply
+
+    def close(self):
+        self.file.close()
+        self.sock.close()
+
+
+def drive_tenant(port, tenant, rounds, errors):
+    """Interleaved repairs and deltas for one tenant on its own socket."""
+    try:
+        conn = Conn(port)
+        for i in range(rounds):
+            r = conn.rpc({"op": "repair", "tenant": tenant,
+                          "tau_r": [0.25, 0.5, 1.0][i % 3], "seed": i + 1,
+                          "id": i})
+            if not r.get("ok"):
+                errors.append(f"{tenant} repair {i}: {r}")
+            if r.get("id") != i:
+                errors.append(f"{tenant} repair {i}: id echo broken: {r}")
+            if i % 3 == 1:
+                d = conn.rpc({"op": "apply_delta", "tenant": tenant,
+                              "inserts": [[f"New{i}", f"City{i % 7}",
+                                           f"Z{i % 7}"]]})
+                if not d.get("ok"):
+                    errors.append(f"{tenant} delta {i}: {d}")
+        s = conn.rpc({"op": "sweep", "tenant": tenant,
+                      "requests": [{"tau": 0}, {"tau_r": 0.5},
+                                   {"tau_r": 1.0}]})
+        if not s.get("ok") or len(s.get("results", [])) != 3:
+            errors.append(f"{tenant} sweep: {s}")
+        conn.close()
+    except Exception as e:  # noqa: BLE001 - collect, don't crash the thread
+        errors.append(f"{tenant}: {type(e).__name__}: {e}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    server_bin = sys.argv[1]
+
+    tmp = tempfile.mkdtemp(prefix="retrust_smoke_")
+    csv_a = os.path.join(tmp, "hosp.csv")
+    csv_b = os.path.join(tmp, "census.csv")
+    write_tenant_csv(csv_a, 80, 9)
+    write_tenant_csv(csv_b, 60, 7)
+
+    proc = subprocess.Popen(
+        [server_bin, "--port", "0", "--workers", "2",
+         "--queue-depth", "1024"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        line = proc.stdout.readline()
+        m = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+        assert m, f"no listening banner, got: {line!r}"
+        port = int(m.group(1))
+
+        ctl = Conn(port)
+        for tenant, path in (("hosp", csv_a), ("census", csv_b)):
+            r = ctl.rpc({"op": "load_tenant", "tenant": tenant, "csv": path,
+                         "fds": ["City->Zip"]})
+            assert r.get("ok"), f"load_tenant {tenant}: {r}"
+
+        rounds = 12
+        errors = []
+        threads = [threading.Thread(target=drive_tenant,
+                                    args=(port, tenant, rounds, errors))
+                   for tenant in ("hosp", "census")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, "\n".join(errors)
+
+        stats = ctl.rpc({"op": "stats"})
+        assert stats.get("ok"), stats
+        print(f"server stats: {json.dumps(stats, sort_keys=True)}")
+        assert stats["rejected"] == 0, \
+            f"requests rejected under capacity: {stats}"
+        assert stats["expired_in_queue"] == 0, stats
+        assert stats["cancelled"] == 0, stats
+        # 12 repairs + 4 deltas + 1 sweep per tenant, 2 tenants.
+        assert stats["completed"] == 2 * (rounds + 4 + 1), stats
+        assert stats["queue_depth"] == 0 and stats["in_flight"] == 0, stats
+        assert stats["p50_latency_seconds"] <= stats["p99_latency_seconds"]
+
+        for tenant, base_rows in (("hosp", 80), ("census", 60)):
+            ts = ctl.rpc({"op": "stats", "tenant": tenant})
+            assert ts.get("ok") and ts["loaded"], ts
+            assert ts["num_tuples"] == base_rows + 4, ts  # 4 delta inserts
+            assert ts["data_version"] == 5, ts            # 1 + 4 applies
+            assert ts["cache"]["contexts"], ts
+            print(f"tenant {tenant}: n={ts['num_tuples']} "
+                  f"v={ts['data_version']} "
+                  f"cache_bytes={ts['cache']['bytes_estimate']}")
+
+        r = ctl.rpc({"op": "shutdown"})
+        assert r.get("ok"), r
+        ctl.close()
+        proc.wait(timeout=30)
+        assert proc.returncode == 0, f"server exit {proc.returncode}"
+        print("service smoke: OK")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,27 @@ uint64_t Fingerprint(const FDSet& sigma, const SessionOptions& opts) {
   return seed;
 }
 
+/// Conflict edges held by a context's difference-set index — the sizing
+/// weight of the byte-accurate cache bound.
+int64_t IndexEdges(const FdSearchContext& ctx) {
+  int64_t edges = 0;
+  for (const DiffSetGroup& g : ctx.index().groups()) {
+    edges += static_cast<int64_t>(g.edges.size());
+  }
+  return edges;
+}
+
+/// Edge-weighted memory estimate of one cached context. Edge storage
+/// dominates (every group keeps its edge list and the violation table and
+/// cover memo scale with groups, not tuples); the per-group constant
+/// covers the group record, its incidence row, and memo bookkeeping.
+size_t EstimateContextBytes(int64_t edges, int num_groups) {
+  constexpr size_t kPerGroup = 128;
+  return static_cast<size_t>(edges) * sizeof(Edge) +
+         static_cast<size_t>(num_groups) * kPerGroup +
+         sizeof(FdSearchContext);
+}
+
 Status NoRepairStatus(SearchTermination termination, int64_t tau) {
   switch (termination) {
     case SearchTermination::kCancelled:
@@ -155,6 +176,7 @@ std::shared_ptr<Session::ContextBundle> Session::BundleFor(FDSet sigma) {
   for (const std::shared_ptr<ContextBundle>& bundle : bucket) {
     if (bundle->sigma == sigma && bundle->weights == weights) {
       ++cache_hits_;
+      ++bundle->hits;
       bundle->last_used = ++use_clock_;
       active_fingerprint_ = fp;
       return bundle;
@@ -167,9 +189,12 @@ std::shared_ptr<Session::ContextBundle> Session::BundleFor(FDSet sigma) {
   bundle->context = std::make_unique<FdSearchContext>(
       bundle->sigma, *encoded_, *bundle->weights, opts_.heuristic,
       opts_.exec);
-  bundle->sweep =
-      std::make_unique<exec::Sweep>(*bundle->context, *encoded_, opts_.exec);
+  bundle->sweep = std::make_unique<exec::Sweep>(*bundle->context, *encoded_,
+                                               opts_.exec, opts_.shared_pool);
   bundle->root_delta_p = bundle->context->RootDeltaP();
+  bundle->edges = IndexEdges(*bundle->context);
+  bundle->bytes = EstimateContextBytes(bundle->edges,
+                                       bundle->context->index().size());
   bundle->last_used = ++use_clock_;
   bucket.push_back(bundle);
   active_fingerprint_ = fp;
@@ -177,14 +202,20 @@ std::shared_ptr<Session::ContextBundle> Session::BundleFor(FDSet sigma) {
 }
 
 void Session::EvictIfNeeded() {
-  if (opts_.max_cached_contexts == 0) return;
+  if (opts_.max_cached_contexts == 0 && opts_.max_cached_bytes == 0) return;
   std::lock_guard<std::mutex> lock(*mu_);
-  auto cache_size = [this] {
+  auto over_budget = [this] {
     size_t n = 0;
-    for (const auto& [fp, bucket] : cache_) n += bucket.size();
-    return n;
+    size_t bytes = 0;
+    for (const auto& [fp, bucket] : cache_) {
+      n += bucket.size();
+      for (const std::shared_ptr<ContextBundle>& b : bucket) bytes += b->bytes;
+    }
+    return (opts_.max_cached_contexts != 0 &&
+            n > opts_.max_cached_contexts) ||
+           (opts_.max_cached_bytes != 0 && bytes > opts_.max_cached_bytes);
   };
-  while (cache_size() > opts_.max_cached_contexts) {
+  while (over_budget()) {
     // Oldest last_used wins; the active context is exempt so the cache
     // always answers for the live Σ.
     std::map<uint64_t,
@@ -275,14 +306,20 @@ Result<ApplyStats> Session::Apply(const DeltaBatch& delta) {
       // One session-cached pool serves every Apply — no per-batch or
       // per-context thread churn on the streaming append path.
       try {
-        if (apply_pool_ == nullptr) apply_pool_ = exec::MakePool(opts_.exec);
-        exec::ThreadPool* pool = apply_pool_.get();
+        exec::ThreadPool* pool = opts_.shared_pool;
+        if (pool == nullptr) {
+          if (apply_pool_ == nullptr) apply_pool_ = exec::MakePool(opts_.exec);
+          pool = apply_pool_.get();
+        }
         for (auto& [fp, bucket] : cache_) {
           for (const std::shared_ptr<ContextBundle>& bundle : bucket) {
             FdSearchContext::DeltaReport report =
                 bundle->context->ApplyDelta(*encoded_, plan.dirty,
                                             plan.remap, pool);
             bundle->root_delta_p = bundle->context->RootDeltaP();
+            bundle->edges = IndexEdges(*bundle->context);
+            bundle->bytes = EstimateContextBytes(
+                bundle->edges, bundle->context->index().size());
             bundle->sweep->Refresh();
             ++stats.contexts_patched;
             stats.edges_removed += report.index.edges_removed;
@@ -307,11 +344,21 @@ Result<ApplyStats> Session::Apply(const DeltaBatch& delta) {
       stats.tuples_inserted = static_cast<int>(delta.inserts.size());
       stats.tuples_updated = static_cast<int>(delta.updates.size());
       stats.tuples_deleted = static_cast<int>(delta.deletes.size());
-      active_ = BundleFor(active_->sigma);  // fresh over the mutated data
+      std::shared_ptr<ContextBundle> fresh =
+          BundleFor(active_->sigma);  // fresh over the mutated data
+      {
+        // CachedContexts reads active_ under mu_; publish likewise.
+        std::lock_guard<std::mutex> lock(*mu_);
+        active_ = std::move(fresh);
+      }
       stats.contexts_patched = 1;
       stats.groups_changed = active_->context->index().size();
     }
     ++data_version_;
+    // Deltas grow contexts in place (bundle->bytes was just refreshed), so
+    // the byte bound must be re-enforced here, not only on SetFds — an
+    // append-heavy tenant would otherwise outgrow it unchecked.
+    EvictIfNeeded();
   } catch (const std::exception& e) {
     // Only the in-place instance mutation or the from-scratch fallback can
     // land here (e.g. OOM); the session may be unusable.
@@ -499,6 +546,11 @@ uint64_t Session::DataVersion() const {
   return data_version_;
 }
 
+int Session::NumTuples() const {
+  std::shared_lock<std::shared_mutex> snapshot(*state_mu_);
+  return encoded_->NumTuples();
+}
+
 int64_t Session::RootDeltaP() const {
   std::shared_lock<std::shared_mutex> snapshot(*state_mu_);
   return RootDeltaPLocked();
@@ -518,7 +570,20 @@ uint64_t Session::ContextFingerprint() const {
 ContextCacheStats Session::CachedContexts() const {
   std::lock_guard<std::mutex> lock(*mu_);
   ContextCacheStats stats;
-  for (const auto& [fp, bucket] : cache_) stats.cached += bucket.size();
+  for (const auto& [fp, bucket] : cache_) {
+    for (const std::shared_ptr<ContextBundle>& bundle : bucket) {
+      CachedContextInfo info;
+      info.fingerprint = fp;
+      info.active = bundle.get() == active_.get();
+      info.hits = bundle->hits;
+      info.age = use_clock_ - bundle->last_used;
+      info.edges = bundle->edges;
+      info.bytes_estimate = bundle->bytes;
+      stats.bytes_estimate += bundle->bytes;
+      stats.contexts.push_back(info);
+      ++stats.cached;
+    }
+  }
   stats.hits = cache_hits_;
   stats.misses = cache_misses_;
   stats.evictions = cache_evictions_;

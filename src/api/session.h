@@ -63,6 +63,31 @@ struct SessionOptions {
   /// used non-active context is evicted (size+age LRU); revisiting an
   /// evicted fingerprint rebuilds it. Not part of the context fingerprint.
   size_t max_cached_contexts = 0;
+  /// Byte-accurate companion bound (0 = unbounded): each cached context is
+  /// weighed by its difference-set EDGE COUNT (edge storage dominates a
+  /// context's footprint) instead of counting 1, and LRU eviction runs
+  /// until the estimated total fits. Both bounds may be set; the active
+  /// context is always exempt. Not part of the context fingerprint.
+  size_t max_cached_bytes = 0;
+  /// Optional externally-owned pool (nullable) the session's sweeps and
+  /// Apply() schedule on instead of spawning private workers — a process
+  /// holding many sessions (one per tenant, src/service/) shares ONE pool
+  /// across all of them. Must outlive the session. Not part of the
+  /// context fingerprint.
+  exec::ThreadPool* shared_pool = nullptr;
+};
+
+/// One row of ContextCacheStats::contexts: per-context observability, so a
+/// server's per-tenant stats can report WHAT is warm, not just how much.
+struct CachedContextInfo {
+  uint64_t fingerprint = 0;   ///< the (Σ, weights, heuristic, exec) key
+  bool active = false;        ///< the session's live context (never evicted)
+  uint64_t hits = 0;          ///< times BundleFor returned this context
+  /// LRU age in use-clock ticks (0 = touched most recently); grows by one
+  /// per context switch, so it is deterministic, unlike wall-clock.
+  uint64_t age = 0;
+  int64_t edges = 0;          ///< conflict edges in the difference-set index
+  size_t bytes_estimate = 0;  ///< edge-weighted memory estimate
 };
 
 /// Observable context-cache behavior (tests and ops dashboards).
@@ -70,7 +95,9 @@ struct ContextCacheStats {
   size_t cached = 0;      ///< contexts currently held
   uint64_t hits = 0;      ///< BundleFor answered from the cache
   uint64_t misses = 0;    ///< contexts built
-  uint64_t evictions = 0; ///< contexts dropped by the LRU bound
+  uint64_t evictions = 0; ///< contexts dropped by the LRU bounds
+  size_t bytes_estimate = 0;  ///< total estimate over cached contexts
+  std::vector<CachedContextInfo> contexts;  ///< one row per cached context
 };
 
 /// What one Session::Apply did — the delta's blast radius vs what stayed
@@ -210,6 +237,10 @@ class Session {
   /// Safe against a concurrent Apply (reads under the snapshot lock).
   uint64_t DataVersion() const;
 
+  /// Live cardinality, safe against a concurrent Apply (reads under the
+  /// snapshot lock) — unlike instance().NumTuples(), which is not.
+  int NumTuples() const;
+
   /// Algorithm 1 at the request's τ. Error codes: kInvalidArgument (no τ,
   /// τr out of range), kNoRepairWithinTau, kBudgetExceeded, kCancelled.
   /// An interrupted request that already holds a τ-feasible repair returns
@@ -275,6 +306,9 @@ class Session {
     std::unique_ptr<exec::Sweep> sweep;
     int64_t root_delta_p = 0;
     uint64_t last_used = 0;  ///< LRU ordinal (session use_clock_)
+    uint64_t hits = 0;       ///< BundleFor cache hits on this bundle
+    int64_t edges = 0;       ///< difference-set edge count (sizing weight)
+    size_t bytes = 0;        ///< edge-weighted estimate; kept fresh by Apply
   };
 
   Session(Instance data, SessionOptions opts);
@@ -288,8 +322,9 @@ class Session {
   /// touching its LRU slot.
   std::shared_ptr<ContextBundle> BundleFor(FDSet sigma);
   /// Drops least-recently-used bundles (never the active one) until the
-  /// cache respects max_cached_contexts. Runs after every active-context
-  /// switch; evicted fingerprints rebuild on their next use.
+  /// cache respects max_cached_contexts AND the edge-weighted
+  /// max_cached_bytes bound. Runs after every active-context switch;
+  /// evicted fingerprints rebuild on their next use.
   void EvictIfNeeded();
   Result<int64_t> ResolveTau(const RepairRequest& req) const;
   ModifyFdsOptions SearchOptions(const RepairRequest& req) const;

@@ -28,6 +28,8 @@ enum class StatusCode : int {
   kBudgetExceeded,      ///< visit budget or deadline expired before an answer
   kCancelled,           ///< the request's CancelToken fired
   kIoError,             ///< dataset could not be read/written
+  kOverloaded,          ///< the service shed the request (queue full,
+                        ///< tenant cap, or deadline-infeasible load)
   kInternal,            ///< an internal-layer exception escaped (bug)
 };
 

@@ -10,7 +10,7 @@ ChunkPlan PlanChunks(int64_t n, const ThreadPool* pool,
   plan.n = n;
   if (n <= 0) return plan;  // zero chunks: body never runs
   int threads = pool == nullptr ? 1 : pool->num_threads();
-  if (threads <= 1 || ThreadPool::OnWorkerThread()) {
+  if (threads <= 1 || ThreadPool::CurrentWorkerPool() == pool) {
     plan.num_chunks = 1;
     return plan;
   }
@@ -24,7 +24,7 @@ void ParallelFor(ThreadPool* pool, const ChunkPlan& plan,
                  const std::function<void(int64_t, int64_t, int)>& body) {
   if (plan.num_chunks <= 0) return;
   if (plan.num_chunks == 1 || pool == nullptr || pool->num_threads() <= 1 ||
-      ThreadPool::OnWorkerThread()) {
+      ThreadPool::CurrentWorkerPool() == pool) {
     for (int c = 0; c < plan.num_chunks; ++c) {
       body(plan.Begin(c), plan.End(c), c);
     }

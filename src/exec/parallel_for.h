@@ -34,8 +34,10 @@ ChunkPlan PlanChunks(int64_t n, const ThreadPool* pool,
 
 /// Runs body(begin, end, chunk_index) for every chunk of `plan`. Blocks
 /// until all chunks finished; rethrows the exception of the lowest-index
-/// failing chunk. `pool` may be null (serial). Nested calls from inside a
-/// pool worker run inline (see ThreadPool::OnWorkerThread).
+/// failing chunk. `pool` may be null (serial). Nested calls targeting the
+/// SAME pool from one of its workers run inline (deadlock guard); calls
+/// targeting a different pool fan out normally (see
+/// ThreadPool::CurrentWorkerPool).
 void ParallelFor(ThreadPool* pool, const ChunkPlan& plan,
                  const std::function<void(int64_t, int64_t, int)>& body);
 

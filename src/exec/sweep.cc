@@ -8,11 +8,12 @@
 namespace retrust::exec {
 
 Sweep::Sweep(const FdSearchContext& ctx, const EncodedInstance& inst,
-             Options options)
+             Options options, ThreadPool* shared_pool)
     : ctx_(ctx),
       inst_(inst),
       options_(options),
-      pool_(MakePool(options)),
+      pool_(shared_pool == nullptr ? MakePool(options) : nullptr),
+      external_pool_(shared_pool),
       pinned_version_(ctx.version()) {}
 
 void Sweep::CheckVersion(const char* when) const {
@@ -30,7 +31,7 @@ std::vector<SweepOutcome> Sweep::RunRepairs(
     const std::vector<SweepJob>& jobs) const {
   CheckVersion("start");
   std::vector<SweepOutcome> outcomes(jobs.size());
-  TaskGroup group(pool_.get());
+  TaskGroup group(pool());
   for (size_t i = 0; i < jobs.size(); ++i) {
     group.Run([this, &jobs, &outcomes, i] {
       const SweepJob& job = jobs[i];
@@ -65,7 +66,7 @@ std::vector<ModifyFdsResult> Sweep::RunSearches(
     const std::vector<SearchJob>& jobs) const {
   CheckVersion("start");
   std::vector<ModifyFdsResult> results(jobs.size());
-  TaskGroup group(pool_.get());
+  TaskGroup group(pool());
   for (size_t i = 0; i < jobs.size(); ++i) {
     group.Run([this, &jobs, &results, i] {
       ModifyFdsOptions opts = jobs[i].opts;

@@ -69,8 +69,13 @@ struct SearchJob {
 /// post-delta answers (both cases throw std::logic_error).
 class Sweep {
  public:
+  /// `shared_pool` (nullable, NOT owned) lets many sweeps — e.g. one per
+  /// cached context of one per tenant Session of a multi-tenant server —
+  /// schedule on a single process-wide pool instead of each spawning its
+  /// own workers. When null, the sweep owns a pool per `options` exactly
+  /// as before. A shared pool must outlive every sweep using it.
   Sweep(const FdSearchContext& ctx, const EncodedInstance& inst,
-        Options options = {});
+        Options options = {}, ThreadPool* shared_pool = nullptr);
 
   /// Re-pins the context version after an intentional ApplyDelta.
   /// Requires external exclusion against concurrent Run* calls (the
@@ -101,10 +106,17 @@ class Sweep {
   /// version (`when` names the offending phase in the message).
   void CheckVersion(const char* when) const;
 
+  /// The pool Run* schedules on: the shared one when provided, else the
+  /// owned one (null = serial inline execution).
+  ThreadPool* pool() const {
+    return external_pool_ != nullptr ? external_pool_ : pool_.get();
+  }
+
   const FdSearchContext& ctx_;
   const EncodedInstance& inst_;
   Options options_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when options are serial
+  ThreadPool* external_pool_ = nullptr;  ///< not owned; wins over pool_
   uint64_t pinned_version_ = 0;
 };
 

@@ -6,7 +6,7 @@
 namespace retrust::exec {
 
 namespace {
-thread_local bool t_on_worker = false;
+thread_local const ThreadPool* t_worker_pool = nullptr;
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -35,10 +35,12 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
-bool ThreadPool::OnWorkerThread() { return t_on_worker; }
+bool ThreadPool::OnWorkerThread() { return t_worker_pool != nullptr; }
+
+const ThreadPool* ThreadPool::CurrentWorkerPool() { return t_worker_pool; }
 
 void ThreadPool::WorkerLoop() {
-  t_on_worker = true;
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -66,8 +68,10 @@ TaskGroup::~TaskGroup() {
 
 void TaskGroup::Run(std::function<void()> task) {
   int64_t index = next_index_++;
+  // Inline only for SAME-POOL nesting (a worker waiting on its own pool's
+  // queue would deadlock); a different pool is a safe fan-out.
   if (pool_ == nullptr || pool_->num_threads() <= 1 ||
-      ThreadPool::OnWorkerThread()) {
+      ThreadPool::CurrentWorkerPool() == pool_) {
     Execute(task, index);
     return;
   }

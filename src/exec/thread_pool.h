@@ -38,10 +38,18 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
   /// True when the calling thread is one of this process's pool workers.
-  /// ParallelFor and TaskGroup use this to run nested parallel sections
-  /// inline, which makes accidental nesting safe (no deadlock) at the cost
-  /// of serializing the inner section.
   static bool OnWorkerThread();
+
+  /// The pool whose worker the calling thread is (nullptr off-pool).
+  /// ParallelFor and TaskGroup inline a nested parallel section only when
+  /// it targets the SAME pool the caller is a worker of — that nesting
+  /// would deadlock (the worker would wait on a queue only it can drain).
+  /// Targeting a DIFFERENT pool is a fan-out, not a nesting hazard, and
+  /// runs parallel: a multi-session server's request workers (pool A)
+  /// schedule their sessions' sweeps and deltas on the shared session
+  /// pool (pool B). Cross-pool WAITING must stay acyclic — satisfied
+  /// here because session-pool tasks never wait on request workers.
+  static const ThreadPool* CurrentWorkerPool();
 
  private:
   void WorkerLoop();

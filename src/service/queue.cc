@@ -1,0 +1,137 @@
+#include "src/service/queue.h"
+
+#include <utility>
+
+namespace retrust::service {
+
+Status RequestQueue::Push(std::shared_ptr<PendingRequest> req) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return Status::Error(StatusCode::kCancelled, "server stopped");
+  }
+  auto [it, inserted] = lanes_.try_emplace(req->tenant);
+  Lane& lane = it->second;
+  Status admitted = admission_->Admit(req->deadline_seconds, depth_,
+                                      lane.Load(), req->tenant);
+  if (!admitted.ok()) {
+    // A lane created only to be rejected would grow the round-robin ring
+    // with a tenant that never had a request admitted.
+    if (inserted) lanes_.erase(it);
+    return admitted;
+  }
+  if (inserted) ring_.push_back(req->tenant);
+  lane.fifo.push_back(std::move(req));
+  ++depth_;
+  lock.unlock();
+  cv_.notify_one();
+  return Status::Ok();
+}
+
+int RequestQueue::FindDispatchable() const {
+  for (size_t step = 0; step < ring_.size(); ++step) {
+    size_t i = (cursor_ + step) % ring_.size();
+    auto it = lanes_.find(ring_[i]);
+    if (it != lanes_.end() && it->second.HeadDispatchable()) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::shared_ptr<PendingRequest> RequestQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] {
+      return shutdown_ || (!paused_ && FindDispatchable() >= 0);
+    });
+    if (shutdown_) return nullptr;
+    int i = FindDispatchable();
+    if (i < 0) continue;  // raced another worker to the only ready lane
+    Lane& lane = lanes_[ring_[static_cast<size_t>(i)]];
+    std::shared_ptr<PendingRequest> req = std::move(lane.fifo.front());
+    lane.fifo.pop_front();
+    if (req->is_write) {
+      lane.executing_write = true;
+    } else {
+      ++lane.executing_reads;
+    }
+    --depth_;
+    ++in_flight_;
+    cursor_ = (static_cast<size_t>(i) + 1) % ring_.size();
+    return req;
+  }
+}
+
+void RequestQueue::OnFinished(const PendingRequest& req) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = lanes_.find(req.tenant);
+    if (it != lanes_.end()) {
+      if (req.is_write) {
+        it->second.executing_write = false;
+      } else {
+        --it->second.executing_reads;
+      }
+    }
+    --in_flight_;
+  }
+  // A drained barrier can unblock several queued reads at once.
+  cv_.notify_all();
+}
+
+void RequestQueue::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void RequestQueue::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void RequestQueue::Shutdown(const Status& status) {
+  std::vector<std::shared_ptr<PendingRequest>> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    for (auto& [tenant, lane] : lanes_) {
+      for (std::shared_ptr<PendingRequest>& req : lane.fifo) {
+        drained.push_back(std::move(req));
+      }
+      lane.fifo.clear();
+    }
+    depth_ = 0;
+  }
+  cv_.notify_all();
+  // Complete futures outside the lock: fail() may run arbitrary caller
+  // continuations.
+  for (const std::shared_ptr<PendingRequest>& req : drained) {
+    req->fail(status);
+  }
+}
+
+size_t RequestQueue::Depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_;
+}
+
+size_t RequestQueue::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+std::pair<size_t, size_t> RequestQueue::LaneLoad(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = lanes_.find(tenant);
+  if (it == lanes_.end()) return {0, 0};
+  const Lane& lane = it->second;
+  return {lane.fifo.size(), static_cast<size_t>(lane.executing_reads) +
+                                (lane.executing_write ? 1u : 0u)};
+}
+
+}  // namespace retrust::service

@@ -1,0 +1,365 @@
+#include "src/service/server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace retrust::service {
+
+namespace {
+
+AdmissionController::Options AdmissionOptions(const ServerOptions& opts) {
+  AdmissionController::Options a;
+  a.queue_capacity = opts.queue_capacity;
+  a.per_tenant_inflight = opts.per_tenant_inflight;
+  a.workers = opts.workers < 1 ? 1 : opts.workers;
+  return a;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)),
+      session_pool_(opts_.session_threads > 1
+                        ? std::make_unique<exec::ThreadPool>(
+                              opts_.session_threads)
+                        : nullptr),
+      tenants_(opts_.session_defaults, session_pool_.get()),
+      admission_(AdmissionOptions(opts_)),
+      queue_(&admission_),
+      worker_pool_(std::make_unique<exec::ThreadPool>(
+          opts_.workers < 1 ? 1 : opts_.workers)) {
+  if (opts_.start_paused) queue_.Pause();
+  const int workers = opts_.workers < 1 ? 1 : opts_.workers;
+  for (int i = 0; i < workers; ++i) {
+    worker_pool_->Submit([this] { WorkerLoop(); });
+  }
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::LoadTenant(const std::string& name, Instance data,
+                          const std::vector<std::string>& fd_texts,
+                          std::optional<SessionOptions> opts) {
+  return tenants_.Add(name, std::move(data), fd_texts, std::move(opts));
+}
+
+Status Server::LoadCsvTenant(const std::string& name, std::string csv_path,
+                             std::vector<std::string> fd_texts,
+                             std::optional<SessionOptions> opts) {
+  return tenants_.AddCsv(name, std::move(csv_path), std::move(fd_texts),
+                         std::move(opts));
+}
+
+void Server::Pause() { queue_.Pause(); }
+
+void Server::Resume() { queue_.Resume(); }
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  queue_.Shutdown(Status::Error(StatusCode::kCancelled, "server stopped"));
+  {
+    // Courtesy cancel for in-flight work so shutdown is prompt; the
+    // cooperative token means they finish their current state cleanly.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (auto& [id, req] : live_) req->cancel.Cancel();
+  }
+  worker_pool_.reset();  // joins: in-flight requests drain first
+}
+
+template <typename T>
+Submitted<T> Server::Submit(const std::string& tenant, bool is_write,
+                            double deadline_seconds,
+                            std::function<T(Session&, PendingRequest&)> run,
+                            std::function<T(const Status&)> on_fail) {
+  auto promise = std::make_shared<std::promise<T>>();
+  Submitted<T> out;
+  out.future = promise->get_future();
+  out.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  ++submitted_;
+
+  auto reject = [&](Status status) {
+    promise->set_value(on_fail(status));
+  };
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) {
+      reject(Status::Error(StatusCode::kCancelled, "server stopped"));
+      return out;
+    }
+  }
+  // Unknown tenants fail fast, before they can occupy a queue slot or
+  // grow the fairness ring.
+  if (!tenants_.Contains(tenant)) {
+    reject(Status::Error(StatusCode::kInvalidArgument,
+                         "unknown tenant '" + tenant + "'"));
+    return out;
+  }
+
+  auto req = std::make_shared<PendingRequest>();
+  req->id = out.id;
+  req->tenant = tenant;
+  req->is_write = is_write;
+  req->deadline_seconds = deadline_seconds;
+  req->submitted = std::chrono::steady_clock::now();
+  // Both wrappers finish ALL bookkeeping (live_ removal, counters,
+  // latency) BEFORE completing the promise, so a caller that wakes from
+  // future.get() observes consistent stats — no "reply arrived but
+  // completed counter still says 0" window.
+  req->execute = [this, promise, run = std::move(run)](
+                     Session& session, PendingRequest& pending) {
+    const auto exec_start = std::chrono::steady_clock::now();
+    T reply = run(session, pending);
+    // Two different clocks on purpose: the admission EWMA needs pure
+    // SERVICE time (its wait estimate multiplies by queue depth — feeding
+    // it end-to-end latency would double-count the queue and shed
+    // feasible requests), while the client-facing histogram reports
+    // end-to-end submit -> reply latency.
+    const double service_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      exec_start)
+            .count();
+    const double latency = pending.ElapsedSeconds();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      live_.erase(pending.id);
+      latency_.Record(latency);
+      ++completed_by_tenant_[pending.tenant];
+    }
+    admission_.ObserveLatency(service_seconds);
+    ++completed_;
+    if (pending.release) {
+      std::function<void()> release = std::move(pending.release);
+      pending.release = nullptr;
+      release();
+    }
+    promise->set_value(std::move(reply));
+  };
+  req->fail = [this, promise, self = req.get(),
+               on_fail = std::move(on_fail)](const Status& status) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      live_.erase(self->id);
+    }
+    if (self->release) {
+      std::function<void()> release = std::move(self->release);
+      self->release = nullptr;
+      release();
+    }
+    promise->set_value(on_fail(status));
+  };
+
+  // Live BEFORE Push: a worker may pop and finish the request before Push
+  // returns, and Cancel must be able to find it the moment the caller
+  // holds the id.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    live_[req->id] = req;
+  }
+  Status admitted = queue_.Push(req);
+  if (!admitted.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      live_.erase(req->id);
+    }
+    req->fail(admitted);  // on_fail was moved into the request
+  }
+  return out;
+}
+
+void Server::WorkerLoop() {
+  while (std::shared_ptr<PendingRequest> req = queue_.Pop()) {
+    // The terminal wrapper (execute or fail) releases the lane slot just
+    // before completing the future; the request's session work is done by
+    // then, so the apply_delta barrier still covers the whole execution.
+    req->release = [this, r = req.get()] { queue_.OnFinished(*r); };
+    if (req->cancel.Cancelled()) {
+      // Cancelled while queued: completed WITHOUT touching a Session — no
+      // pool work is ever leaked for it.
+      ++cancelled_;
+      req->fail(
+          Status::Error(StatusCode::kCancelled, "cancelled while queued"));
+    } else if (req->DeadlineExpired()) {
+      ++expired_;
+      req->fail(Status::Error(
+          StatusCode::kBudgetExceeded,
+          "deadline expired after " + std::to_string(req->ElapsedSeconds()) +
+              "s in queue"));
+    } else {
+      Result<std::shared_ptr<Session>> session = tenants_.Get(req->tenant);
+      if (!session.ok()) {
+        // A failed lazy open is still a dispatched-and-replied request:
+        // count it as completed so the admitted-request counters
+        // partition cleanly (stats.h).
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          latency_.Record(req->ElapsedSeconds());
+          ++completed_by_tenant_[req->tenant];
+        }
+        ++completed_;
+        req->fail(session.status());
+      } else {
+        try {
+          req->execute(**session, *req);
+        } catch (const std::exception& e) {
+          // Same terminal accounting as the other dispatched-and-replied
+          // paths, so global and per-tenant completed counts reconcile.
+          {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            latency_.Record(req->ElapsedSeconds());
+            ++completed_by_tenant_[req->tenant];
+          }
+          ++completed_;
+          req->fail(Status::Error(StatusCode::kInternal, e.what()));
+        }
+      }
+    }
+  }
+}
+
+bool Server::Cancel(uint64_t id) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  it->second->cancel.Cancel();
+  return true;
+}
+
+ServerStats Server::Stats() const {
+  ServerStats stats;
+  stats.queue_depth = queue_.Depth();
+  stats.in_flight = queue_.InFlight();
+  stats.workers = opts_.workers < 1 ? 1 : opts_.workers;
+  stats.submitted = submitted_.load();
+  stats.cancelled = cancelled_.load();
+  stats.expired_in_queue = expired_.load();
+  stats.completed = completed_.load();
+  admission_.Snapshot(&stats);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats.p50_latency_seconds = latency_.Percentile(0.5);
+    stats.p99_latency_seconds = latency_.Percentile(0.99);
+  }
+  return stats;
+}
+
+Result<TenantStats> Server::TenantStatsFor(const std::string& name) const {
+  Result<TenantStats> stats = tenants_.StatsFor(name);
+  if (!stats.ok()) return stats;
+  auto [queued, executing] = queue_.LaneLoad(name);
+  stats->queued = queued;
+  stats->executing = executing;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    auto it = completed_by_tenant_.find(name);
+    stats->completed = it == completed_by_tenant_.end() ? 0 : it->second;
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------- Client
+
+namespace {
+
+/// The common reply-from-status factory for Result<T> verbs.
+template <typename T>
+std::function<Result<T>(const Status&)> FailAsResult() {
+  return [](const Status& status) { return Result<T>(status); };
+}
+
+/// A submission rejected synchronously before reaching the server: the
+/// future is already ready with `status`.
+template <typename T>
+Submitted<Result<T>> RejectedSubmission(Status status) {
+  Submitted<Result<T>> out;
+  std::promise<Result<T>> promise;
+  out.future = promise.get_future();
+  promise.set_value(std::move(status));
+  return out;
+}
+
+Status UserCancelTokenError() {
+  return Status::Error(
+      StatusCode::kInvalidArgument,
+      "RepairRequest::cancel must be null: service requests are "
+      "cancelled via Client::Cancel(id)");
+}
+
+}  // namespace
+
+Submitted<Result<RepairResponse>> Client::Repair(const std::string& tenant,
+                                                 const RepairRequest& req) {
+  if (req.cancel != nullptr) {
+    return RejectedSubmission<RepairResponse>(UserCancelTokenError());
+  }
+  return server_->Submit<Result<RepairResponse>>(
+      tenant, /*is_write=*/false, req.deadline_seconds,
+      [req](Session& session, PendingRequest& pending) {
+        RepairRequest r = req;
+        r.deadline_seconds = pending.RemainingDeadline();
+        r.cancel = &pending.cancel;
+        return session.Repair(r);
+      },
+      FailAsResult<RepairResponse>());
+}
+
+Submitted<Result<SearchProbe>> Client::Search(const std::string& tenant,
+                                              const RepairRequest& req) {
+  if (req.cancel != nullptr) {
+    return RejectedSubmission<SearchProbe>(UserCancelTokenError());
+  }
+  return server_->Submit<Result<SearchProbe>>(
+      tenant, /*is_write=*/false, req.deadline_seconds,
+      [req](Session& session, PendingRequest& pending) {
+        RepairRequest r = req;
+        r.deadline_seconds = pending.RemainingDeadline();
+        r.cancel = &pending.cancel;
+        return session.Search(r);
+      },
+      FailAsResult<SearchProbe>());
+}
+
+Submitted<std::vector<Result<RepairResponse>>> Client::Sweep(
+    const std::string& tenant, std::vector<RepairRequest> reqs) {
+  const size_t n = reqs.size();
+  return server_->Submit<std::vector<Result<RepairResponse>>>(
+      tenant, /*is_write=*/false, /*deadline_seconds=*/0.0,
+      [reqs = std::move(reqs)](Session& session, PendingRequest& pending) {
+        std::vector<RepairRequest> wired = reqs;
+        for (RepairRequest& r : wired) r.cancel = &pending.cancel;
+        return session.RepairMany(wired);
+      },
+      [n](const Status& status) {
+        std::vector<Result<RepairResponse>> replies;
+        replies.reserve(n);
+        for (size_t i = 0; i < n; ++i) replies.emplace_back(status);
+        return replies;
+      });
+}
+
+std::vector<Submitted<Result<RepairResponse>>> Client::RepairBatch(
+    const std::string& tenant, std::span<const RepairRequest> reqs) {
+  std::vector<Submitted<Result<RepairResponse>>> out;
+  out.reserve(reqs.size());
+  for (const RepairRequest& req : reqs) out.push_back(Repair(tenant, req));
+  return out;
+}
+
+Submitted<Result<ApplyStats>> Client::Apply(const std::string& tenant,
+                                            DeltaBatch delta) {
+  return server_->Submit<Result<ApplyStats>>(
+      tenant, /*is_write=*/true, /*deadline_seconds=*/0.0,
+      [delta = std::move(delta)](Session& session, PendingRequest&) {
+        return session.Apply(delta);
+      },
+      FailAsResult<ApplyStats>());
+}
+
+bool Client::Cancel(uint64_t id) { return server_->Cancel(id); }
+
+ServerStats Client::Stats() const { return server_->Stats(); }
+
+}  // namespace retrust::service

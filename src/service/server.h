@@ -1,0 +1,209 @@
+// retrust::service::Server — the multi-tenant repair service: one process,
+// many datasets, one admission-controlled request queue.
+//
+// The Beskales et al. repair model is request-shaped by construction —
+// every (dataset, Σ, τ) query is independent work over a cached context —
+// so the service layer is mostly traffic engineering:
+//
+//   Client verbs ──▶ AdmissionController ──▶ RequestQueue ──▶ worker pool
+//                     (shed or reject)        (fair lanes)     (exec::ThreadPool)
+//                                                                  │
+//                                             TenantRegistry ◀─────┘
+//                                             (name → Session, lazy open)
+//
+// Guarantees:
+//   * Admission rejects BEFORE enqueue: queue-full and per-tenant caps map
+//     to kOverloaded, pre-expired deadlines to kBudgetExceeded, and
+//     deadline-infeasible load (EWMA wait estimate) to kOverloaded.
+//   * Per-tenant sequential consistency for any worker count: lanes are
+//     FIFO, reads run concurrently, an apply_delta is a barrier (see
+//     queue.h) — responses are bit-identical to serial per-Session
+//     execution in submission order (tests/service_oracle_test.cc).
+//   * Fair round-robin draining across tenants: a hot tenant delays only
+//     itself.
+//   * Cancellation never leaks work: a request cancelled while queued is
+//     completed with kCancelled by the worker that pops it WITHOUT
+//     touching a Session; an executing request is cancelled cooperatively
+//     through exec::CancelToken.
+//
+// The in-process surface is Client (typed submit -> std::future). The
+// wire surface is tools/retrust_server: newline-delimited JSON over a
+// loopback socket, one verb per line (wire.h).
+
+#ifndef RETRUST_SERVICE_SERVER_H_
+#define RETRUST_SERVICE_SERVER_H_
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/api/session.h"
+#include "src/exec/thread_pool.h"
+#include "src/service/admission.h"
+#include "src/service/queue.h"
+#include "src/service/stats.h"
+#include "src/service/tenant_registry.h"
+
+namespace retrust::service {
+
+struct ServerOptions {
+  /// Request-executing workers (clamped to >= 1). Parallelism across
+  /// requests and tenants; each request runs its Session verb inline.
+  int workers = 2;
+  /// Global queued-request bound (0 = unbounded); admission sheds past it.
+  size_t queue_capacity = 256;
+  /// Per-tenant queued+executing cap (0 = unbounded).
+  size_t per_tenant_inflight = 0;
+  /// Size of the ONE pool shared by every tenant Session for sweeps and
+  /// deltas (0/1 = none: sessions run serially inside a request, which is
+  /// the right default — cross-request parallelism comes from `workers`).
+  int session_threads = 0;
+  /// Construct with dispatch paused (Resume() starts draining): gives
+  /// tests deterministic queue states and ops a maintenance mode.
+  bool start_paused = false;
+  /// Defaults for tenants registered without explicit SessionOptions.
+  SessionOptions session_defaults;
+};
+
+/// A submitted request: its server-assigned id (usable with
+/// Client::Cancel) and the future carrying the reply. Rejected requests
+/// return a future that is already ready with the rejection status.
+template <typename T>
+struct Submitted {
+  uint64_t id = 0;
+  std::future<T> future;
+};
+
+class Server;
+
+/// Lightweight handle for submitting work; copyable, borrows the Server.
+class Client {
+ public:
+  explicit Client(Server* server) : server_(server) {}
+
+  /// Algorithm 1 for one tenant. `req.deadline_seconds` is reinterpreted
+  /// as the END-TO-END service deadline: queue wait counts against it and
+  /// only the remainder is granted to the search. `req.cancel` must be
+  /// null — cancellation goes through Cancel(id).
+  Submitted<Result<RepairResponse>> Repair(const std::string& tenant,
+                                           const RepairRequest& req);
+
+  /// Algorithm 2 probe, same conventions as Repair.
+  Submitted<Result<SearchProbe>> Search(const std::string& tenant,
+                                        const RepairRequest& req);
+
+  /// One queue unit running the whole batch through Session::RepairMany
+  /// on the tenant's sweep — the τ-sweep verb. Per-request deadlines
+  /// apply from execution start; the unit itself has no service deadline.
+  Submitted<std::vector<Result<RepairResponse>>> Sweep(
+      const std::string& tenant, std::vector<RepairRequest> reqs);
+
+  /// Batch submit: one queue entry per request (they drain independently,
+  /// interleaved fairly with other tenants), futures in request order.
+  std::vector<Submitted<Result<RepairResponse>>> RepairBatch(
+      const std::string& tenant, std::span<const RepairRequest> reqs);
+
+  /// Session::Apply as a queued write: a per-tenant barrier — it executes
+  /// only after the tenant's earlier requests drained, and later ones
+  /// wait for it (sequential consistency; see queue.h).
+  Submitted<Result<ApplyStats>> Apply(const std::string& tenant,
+                                      DeltaBatch delta);
+
+  /// Cancels a live request: queued -> completed with kCancelled without
+  /// touching any Session; executing -> cooperative CancelToken. False
+  /// when the id is unknown or already finished.
+  bool Cancel(uint64_t id);
+
+  ServerStats Stats() const;
+
+ private:
+  Server* server_;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Tenant registration (TenantRegistry semantics; AddCsv is lazy).
+  Status LoadTenant(const std::string& name, Instance data,
+                    const std::vector<std::string>& fd_texts,
+                    std::optional<SessionOptions> opts = std::nullopt);
+  Status LoadCsvTenant(const std::string& name, std::string csv_path,
+                       std::vector<std::string> fd_texts,
+                       std::optional<SessionOptions> opts = std::nullopt);
+
+  Client client() { return Client(this); }
+  TenantRegistry& tenants() { return tenants_; }
+
+  ServerStats Stats() const;
+  /// Registry + queue view of one tenant (never forces a lazy open).
+  Result<TenantStats> TenantStatsFor(const std::string& name) const;
+  std::vector<std::string> TenantNames() const { return tenants_.Names(); }
+
+  /// Maintenance gate: Pause stops dispatch (admission keeps running, the
+  /// queue fills), Resume drains. See ServerOptions::start_paused.
+  void Pause();
+  void Resume();
+
+  /// Stops the server: fails queued requests with kCancelled, fires the
+  /// cancel token of in-flight ones, joins the workers. Idempotent;
+  /// the destructor calls it.
+  void Stop();
+
+  const ServerOptions& options() const { return opts_; }
+
+ private:
+  friend class Client;
+
+  /// Shared submit path of every verb. `run` executes the verb against
+  /// the resolved session; `on_fail` builds the verb's reply for a status
+  /// (needed because a sweep's reply is a vector, not a Result).
+  template <typename T>
+  Submitted<T> Submit(const std::string& tenant, bool is_write,
+                      double deadline_seconds,
+                      std::function<T(Session&, PendingRequest&)> run,
+                      std::function<T(const Status&)> on_fail);
+
+  bool Cancel(uint64_t id);
+  void WorkerLoop();
+
+  ServerOptions opts_;
+  /// Shared session pool (sweeps + deltas of ALL tenants); null when
+  /// session_threads <= 1. Declared before tenants_/queue_ so it outlives
+  /// every Session using it.
+  std::unique_ptr<exec::ThreadPool> session_pool_;
+  TenantRegistry tenants_;
+  AdmissionController admission_;
+  RequestQueue queue_;
+
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> completed_{0};
+
+  mutable std::mutex stats_mu_;  ///< live_, latency_, completed_by_tenant_
+  std::map<uint64_t, std::shared_ptr<PendingRequest>> live_;
+  LatencyHistogram latency_;
+  std::map<std::string, uint64_t> completed_by_tenant_;
+
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+  /// Declared last: destroyed first, joining the workers after Stop()
+  /// released them from the queue.
+  std::unique_ptr<exec::ThreadPool> worker_pool_;
+};
+
+}  // namespace retrust::service
+
+#endif  // RETRUST_SERVICE_SERVER_H_

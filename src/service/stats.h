@@ -1,0 +1,117 @@
+// Observability types of the service layer: a fixed log-bucketed latency
+// histogram plus the ServerStats / TenantStats snapshots the in-process
+// Client and the `stats` wire verb report.
+//
+// The histogram trades precision for a fixed footprint: 64 geometric
+// buckets spanning [1 µs, ~200 s] (ratio ≈ 1.38), so recording is O(1),
+// snapshots are cheap to copy, and percentiles are read without touching
+// the raw samples. Callers provide locking (the Server records under its
+// stats mutex).
+
+#ifndef RETRUST_SERVICE_STATS_H_
+#define RETRUST_SERVICE_STATS_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "src/api/session.h"
+
+namespace retrust::service {
+
+/// Fixed-size latency histogram; Percentile reports a bucket upper bound,
+/// so p50/p99 are conservative (never under-report).
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(double seconds) {
+    ++counts_[BucketOf(seconds)];
+    ++total_;
+  }
+
+  /// Latency at quantile `q` in [0, 1] (0 when nothing was recorded).
+  double Percentile(double q) const {
+    if (total_ == 0) return 0.0;
+    uint64_t want = static_cast<uint64_t>(std::ceil(q * total_));
+    if (want < 1) want = 1;
+    uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts_[b];
+      if (seen >= want) return UpperBound(b);
+    }
+    return UpperBound(kBuckets - 1);
+  }
+
+  uint64_t count() const { return total_; }
+
+ private:
+  static constexpr double kMinSeconds = 1e-6;
+  static constexpr double kRatio = 1.38;  // 1e-6 * 1.38^63 ≈ 6e2 s
+
+  static int BucketOf(double seconds) {
+    if (!(seconds > kMinSeconds)) return 0;  // also catches NaN/negative
+    int b = static_cast<int>(std::log(seconds / kMinSeconds) /
+                             std::log(kRatio)) +
+            1;
+    return b >= kBuckets ? kBuckets - 1 : b;
+  }
+
+  static double UpperBound(int bucket) {
+    return kMinSeconds * std::pow(kRatio, bucket);
+  }
+
+  std::array<uint64_t, kBuckets> counts_{};
+  uint64_t total_ = 0;
+};
+
+/// One snapshot of the server's request-flow counters. An admitted
+/// request lands in exactly one terminal counter: expired_in_queue,
+/// cancelled, or completed (dispatched to a worker and replied —
+/// including tenant lazy-open failures and verb errors). Rejected_*
+/// count requests turned away at admission, before enqueue; only
+/// synchronous pre-admission failures (unknown tenant, stopped server,
+/// non-null user cancel token) complete their future outside every
+/// terminal counter, so submitted >= rejected() + terminal counters.
+struct ServerStats {
+  size_t queue_depth = 0;     ///< requests waiting right now
+  size_t in_flight = 0;       ///< requests executing right now
+  int workers = 0;
+
+  uint64_t submitted = 0;
+  uint64_t rejected_queue_full = 0;  ///< kOverloaded: global depth bound
+  uint64_t rejected_tenant_cap = 0;  ///< kOverloaded: per-tenant in-flight cap
+  uint64_t rejected_deadline = 0;    ///< pre-expired or infeasible deadline
+  uint64_t expired_in_queue = 0;     ///< deadline passed while waiting
+  uint64_t cancelled = 0;            ///< cancelled before execution started
+  uint64_t completed = 0;            ///< executed to a reply
+
+  double p50_latency_seconds = 0.0;  ///< submit -> reply, executed requests
+  double p99_latency_seconds = 0.0;
+
+  uint64_t rejected() const {
+    return rejected_queue_full + rejected_tenant_cap + rejected_deadline;
+  }
+};
+
+/// Per-tenant snapshot: queue/execution state plus the Session-level
+/// observability (data version, root δP, context cache with per-context
+/// fingerprints/ages/hit counts) the `stats` wire verb reports.
+struct TenantStats {
+  std::string name;
+  bool loaded = false;  ///< lazy CSV tenants stay unloaded until first use
+  size_t queued = 0;
+  size_t executing = 0;
+  uint64_t completed = 0;
+
+  // Valid only when loaded:
+  uint64_t data_version = 0;
+  int64_t root_delta_p = 0;
+  int num_tuples = 0;
+  ContextCacheStats cache;
+};
+
+}  // namespace retrust::service
+
+#endif  // RETRUST_SERVICE_STATS_H_

@@ -1,0 +1,119 @@
+#include "src/service/tenant_registry.h"
+
+#include <utility>
+
+namespace retrust::service {
+
+SessionOptions TenantRegistry::WithPool(
+    std::optional<SessionOptions> opts) const {
+  SessionOptions resolved = opts.has_value() ? std::move(*opts) : defaults_;
+  resolved.shared_pool = shared_pool_;
+  return resolved;
+}
+
+Status TenantRegistry::Add(const std::string& name, Instance data,
+                           const std::vector<std::string>& fd_texts,
+                           std::optional<SessionOptions> opts) {
+  {
+    // Reject duplicates before paying the O(n²) Session build; the
+    // post-build try_emplace still settles a registration race.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tenants_.count(name) != 0) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           "tenant '" + name + "' already registered");
+    }
+  }
+  Result<Session> session =
+      Session::Open(std::move(data), fd_texts, WithPool(std::move(opts)));
+  if (!session.ok()) return session.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tenants_.try_emplace(name);
+  if (!inserted) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "tenant '" + name + "' already registered");
+  }
+  it->second.session = std::make_shared<Session>(std::move(*session));
+  return Status::Ok();
+}
+
+Status TenantRegistry::AddCsv(const std::string& name, std::string csv_path,
+                              std::vector<std::string> fd_texts,
+                              std::optional<SessionOptions> opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tenants_.try_emplace(name);
+  if (!inserted) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "tenant '" + name + "' already registered");
+  }
+  it->second.csv_path = std::move(csv_path);
+  it->second.fd_texts = std::move(fd_texts);
+  it->second.opts = WithPool(std::move(opts));
+  return Status::Ok();
+}
+
+bool TenantRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.count(name) != 0;
+}
+
+std::vector<std::string> TenantRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  return names;
+}
+
+Result<std::shared_ptr<Session>> TenantRegistry::Get(const std::string& name) {
+  Tenant* tenant = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(name);
+    if (it == tenants_.end()) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           "unknown tenant '" + name + "'");
+    }
+    if (it->second.session != nullptr) return it->second.session;
+    tenant = &it->second;  // stable: tenants are never erased
+  }
+  // Lazy open under the tenant's own mutex, so a slow CSV read blocks only
+  // requests for THIS tenant. The double-check covers the loser of a race.
+  std::lock_guard<std::mutex> open_lock(*tenant->open_mu);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tenant->session != nullptr) return tenant->session;
+  }
+  Result<Session> session =
+      Session::OpenCsv(tenant->csv_path, tenant->fd_texts, tenant->opts);
+  if (!session.ok()) return session.status();  // spec stays; next Get retries
+  auto shared = std::make_shared<Session>(std::move(*session));
+  std::lock_guard<std::mutex> lock(mu_);
+  tenant->session = shared;
+  tenant->csv_path.clear();
+  return shared;
+}
+
+Result<TenantStats> TenantRegistry::StatsFor(const std::string& name) const {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(name);
+    if (it == tenants_.end()) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           "unknown tenant '" + name + "'");
+    }
+    session = it->second.session;
+  }
+  TenantStats stats;
+  stats.name = name;
+  if (session != nullptr) {
+    stats.loaded = true;
+    stats.data_version = session->DataVersion();
+    stats.root_delta_p = session->RootDeltaP();
+    stats.num_tuples = session->NumTuples();
+    stats.cache = session->CachedContexts();
+  }
+  return stats;
+}
+
+}  // namespace retrust::service

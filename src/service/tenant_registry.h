@@ -1,0 +1,89 @@
+// Tenant catalog of the service layer: name -> retrust::Session, with
+// per-tenant SessionOptions and lazy CSV loading.
+//
+// Two registration styles:
+//   * Add(...)    — eager: the dataset is already in memory; the Session
+//     opens immediately, so schema/FD errors surface at registration.
+//   * AddCsv(...) — lazy: only the (path, Σ, options) spec is stored; the
+//     first request that needs the tenant pays the CSV read + context
+//     build, and I/O or validation failures surface on THAT request
+//     (kIoError/kInvalidFd/...). A failed lazy open is retried on the
+//     next use, so a dataset that appears later just works.
+//
+// Every session is opened with the registry's shared pool injected into
+// its SessionOptions (see SessionOptions::shared_pool), so a hundred
+// tenants share one set of threads instead of spawning a hundred pools.
+//
+// Thread safety: all methods are safe to call concurrently. The registry
+// mutex guards only the catalog shape; a lazy open runs under the
+// tenant's own mutex so one slow CSV read never blocks other tenants.
+
+#ifndef RETRUST_SERVICE_TENANT_REGISTRY_H_
+#define RETRUST_SERVICE_TENANT_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/api/session.h"
+#include "src/service/stats.h"
+
+namespace retrust::service {
+
+class TenantRegistry {
+ public:
+  /// `defaults` seed tenants registered without explicit options;
+  /// `shared_pool` (nullable, not owned, must outlive the registry) is
+  /// injected into every tenant's SessionOptions.
+  TenantRegistry(SessionOptions defaults, exec::ThreadPool* shared_pool)
+      : defaults_(std::move(defaults)), shared_pool_(shared_pool) {}
+
+  /// Eager registration: opens the Session now. kInvalidArgument when the
+  /// name is taken; otherwise whatever Session::Open reports.
+  Status Add(const std::string& name, Instance data,
+             const std::vector<std::string>& fd_texts,
+             std::optional<SessionOptions> opts = std::nullopt);
+
+  /// Lazy registration: stores the spec, defers the CSV read and context
+  /// build to the first Get. kInvalidArgument when the name is taken.
+  Status AddCsv(const std::string& name, std::string csv_path,
+                std::vector<std::string> fd_texts,
+                std::optional<SessionOptions> opts = std::nullopt);
+
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  /// The tenant's session, opening a lazy spec on first use.
+  /// kInvalidArgument for unknown names; open failures pass through and
+  /// leave the spec registered for a retry.
+  Result<std::shared_ptr<Session>> Get(const std::string& name);
+
+  /// Session-level stats WITHOUT forcing a lazy open (an unloaded tenant
+  /// reports loaded = false and zeros). The queue/execution fields of
+  /// TenantStats are the Server's to fill.
+  Result<TenantStats> StatsFor(const std::string& name) const;
+
+ private:
+  struct Tenant {
+    std::string csv_path;  ///< empty once opened / for eager tenants
+    std::vector<std::string> fd_texts;
+    SessionOptions opts;
+    std::shared_ptr<Session> session;  ///< null until opened
+    /// Serializes the lazy open of THIS tenant only.
+    std::unique_ptr<std::mutex> open_mu = std::make_unique<std::mutex>();
+  };
+
+  SessionOptions WithPool(std::optional<SessionOptions> opts) const;
+
+  SessionOptions defaults_;
+  exec::ThreadPool* shared_pool_;
+  mutable std::mutex mu_;  ///< guards the map and Tenant::session pointers
+  std::map<std::string, Tenant> tenants_;
+};
+
+}  // namespace retrust::service
+
+#endif  // RETRUST_SERVICE_TENANT_REGISTRY_H_

@@ -460,6 +460,122 @@ TEST(SessionEviction, UnboundedByDefault) {
   EXPECT_EQ(stats.evictions, 0u);
 }
 
+// --- Byte-accurate cache sizing and per-context observability ------------
+
+TEST(SessionEviction, ByteBoundWeighsContextsByEdgeCount) {
+  SessionOptions opts;
+  opts.max_cached_bytes = 1;  // below any context's estimate
+  Result<Session> session =
+      Session::Open(SmallInstance(), {"City->Zip"}, opts);
+  ASSERT_TRUE(session.ok());
+  // The single (active) context is exempt even over the byte budget.
+  ContextCacheStats stats = session->CachedContexts();
+  EXPECT_EQ(stats.cached, 1u);
+  EXPECT_GT(stats.bytes_estimate, 1u);
+
+  // A second Σ activates; the cold context must be evicted to chase the
+  // (unreachable) byte budget.
+  ASSERT_TRUE(session->SetFds({"Name->Zip"}).ok());
+  stats = session->CachedContexts();
+  EXPECT_EQ(stats.cached, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(SessionEviction, LargeByteBudgetKeepsEverything) {
+  SessionOptions opts;
+  opts.max_cached_bytes = 64 * 1024 * 1024;
+  Result<Session> session =
+      Session::Open(SmallInstance(), {"City->Zip"}, opts);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->SetFds({"Name->Zip"}).ok());
+  ASSERT_TRUE(session->SetFds({"Name->City"}).ok());
+  ContextCacheStats stats = session->CachedContexts();
+  EXPECT_EQ(stats.cached, 3u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(SessionCache, PerContextInfoReportsFingerprintAgeAndHits) {
+  Result<Session> session = Session::Open(SmallInstance(), {"City->Zip"});
+  ASSERT_TRUE(session.ok());
+  ContextCacheStats stats = session->CachedContexts();
+  ASSERT_EQ(stats.contexts.size(), 1u);
+  EXPECT_TRUE(stats.contexts[0].active);
+  EXPECT_EQ(stats.contexts[0].fingerprint, session->ContextFingerprint());
+  EXPECT_EQ(stats.contexts[0].hits, 0u);
+  EXPECT_EQ(stats.contexts[0].age, 0u);
+  EXPECT_GT(stats.contexts[0].edges, 0);
+  EXPECT_GT(stats.contexts[0].bytes_estimate, 0u);
+  EXPECT_EQ(stats.bytes_estimate, stats.contexts[0].bytes_estimate);
+
+  // Re-activating the same Σ is a hit on the same context...
+  ASSERT_TRUE(session->SetFds({"City->Zip"}).ok());
+  stats = session->CachedContexts();
+  ASSERT_EQ(stats.contexts.size(), 1u);
+  EXPECT_EQ(stats.contexts[0].hits, 1u);
+
+  // ...and a second Σ leaves the first one colder (positive LRU age),
+  // with the active row tracking the live fingerprint.
+  ASSERT_TRUE(session->SetFds({"Name->Zip"}).ok());
+  stats = session->CachedContexts();
+  ASSERT_EQ(stats.contexts.size(), 2u);
+  int active_rows = 0;
+  for (const CachedContextInfo& info : stats.contexts) {
+    if (info.active) {
+      ++active_rows;
+      EXPECT_EQ(info.fingerprint, session->ContextFingerprint());
+      EXPECT_EQ(info.age, 0u);
+    } else {
+      EXPECT_GT(info.age, 0u);
+    }
+  }
+  EXPECT_EQ(active_rows, 1);
+}
+
+// --- Shared pool (service-style multi-session processes) -----------------
+
+TEST(ExecSharedPool, SessionResultsMatchPrivatePool) {
+  OracleData oracle = MakeOracleData(200);
+
+  SessionOptions private_opts;
+  private_opts.exec.num_threads = 4;
+  Result<Session> private_session =
+      Session::Open(oracle.dirty, oracle.sigma, private_opts);
+  ASSERT_TRUE(private_session.ok());
+
+  exec::ThreadPool pool(4);
+  SessionOptions shared_opts;
+  shared_opts.exec.num_threads = 4;
+  shared_opts.shared_pool = &pool;
+  Result<Session> shared_session =
+      Session::Open(oracle.dirty, oracle.sigma, shared_opts);
+  ASSERT_TRUE(shared_session.ok());
+
+  std::vector<RepairRequest> reqs;
+  for (double tr : {0.0, 0.25, 0.5, 1.0}) {
+    reqs.push_back(RepairRequest::AtRelative(tr));
+  }
+  std::vector<Result<RepairResponse>> a = private_session->RepairMany(reqs);
+  std::vector<Result<RepairResponse>> b = shared_session->RepairMany(reqs);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].ok(), b[i].ok()) << i;
+    if (!a[i].ok()) {
+      EXPECT_EQ(a[i].status().code(), b[i].status().code());
+      continue;
+    }
+    EXPECT_EQ(Fingerprint(a[i]->repair, oracle.dirty.schema()),
+              Fingerprint(b[i]->repair, oracle.dirty.schema()))
+        << i;
+  }
+
+  // Deltas also run on the shared pool; both sessions must agree after.
+  DeltaBatch delta;
+  for (int i = 0; i < 3; ++i) delta.Insert(oracle.dirty.row(i));
+  ASSERT_TRUE(private_session->Apply(delta).ok());
+  ASSERT_TRUE(shared_session->Apply(delta).ok());
+  EXPECT_EQ(private_session->RootDeltaP(), shared_session->RootDeltaP());
+}
+
 // --- Range enumeration ---------------------------------------------------
 
 TEST(SessionEnumerate, MatchesInternalRangeRepair) {
