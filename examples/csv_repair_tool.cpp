@@ -4,6 +4,8 @@
 //
 //   example_csv_repair_tool <file.csv> <tau_r> <fd> [<fd> ...]
 //                           [--append <more.csv>]
+//                           [--save-snapshot <file.snap>]
+//   example_csv_repair_tool --from-snapshot <file.snap> <tau_r>
 //
 //   file.csv  header + rows; column types are inferred. The file is read
 //             in streaming passes (one record in memory at a time), never
@@ -15,6 +17,12 @@
 //             the session as chunked DeltaBatches via Session::Apply —
 //             the incremental engine patches the indexes in place instead
 //             of rebuilding them — then repair the grown dataset.
+//   --save-snapshot  after loading (and appending), write the session —
+//             data, FDs, difference sets, conflict graph, warm covers —
+//             to a src/persist/ snapshot file before repairing.
+//   --from-snapshot  restore a session from such a file instead of
+//             building one from CSV: the O(n^2) context build is skipped,
+//             so no <fd> arguments are taken — the FDs travel in the file.
 //
 // Prints the chosen FD relaxation, the cell edits, and the repaired table.
 // Run with no arguments for a built-in demo.
@@ -23,8 +31,12 @@
 //   0  repaired
 //   1  no repair within the budget (raise tau_r)
 //   2  bad FD (parse error or schema mismatch)
-//   3  I/O error (file missing/malformed CSV/append row not parsing)
+//   3  I/O error (file missing/malformed CSV/append row not parsing,
+//      corrupt/truncated snapshot)
 //   4  bad arguments (tau_r out of range, ...)
+//   5  snapshot format version mismatch (file from a different build)
+//   6  snapshot fingerprint mismatch (saved under a different Σ/weight
+//      configuration than this tool uses)
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,12 +61,22 @@ int ExitCodeFor(const Status& status) {
     case StatusCode::kInvalidFd:
     case StatusCode::kSchemaMismatch: return 2;
     case StatusCode::kIoError: return 3;
+    case StatusCode::kVersionMismatch: return 5;
     default: return 4;
   }
 }
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return ExitCodeFor(status);
+}
+
+/// Like Fail, but for the snapshot-open phase, where kSchemaMismatch
+/// means "the snapshot's fingerprint does not match this configuration"
+/// (exit 6) rather than a CSV/FD schema problem (exit 2).
+int FailSnapshotOpen(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  if (status.code() == StatusCode::kSchemaMismatch) return 6;
   return ExitCodeFor(status);
 }
 
@@ -136,12 +158,24 @@ int AppendRows(Session& session, const std::string& path) {
 }
 
 int RunRepair(Result<Session> session, double tau_r,
-              const std::string& append_path) {
-  if (!session.ok()) return Fail(session.status());
+              const std::string& append_path,
+              const std::string& save_snapshot_path = {},
+              bool from_snapshot = false) {
+  if (!session.ok()) {
+    return from_snapshot ? FailSnapshotOpen(session.status())
+                         : Fail(session.status());
+  }
   const Schema& schema = session->schema();
 
   if (!append_path.empty()) {
     if (int rc = AppendRows(*session, append_path); rc != 0) return rc;
+  }
+
+  if (!save_snapshot_path.empty()) {
+    Status saved = session->SaveSnapshot(save_snapshot_path);
+    if (!saved.ok()) return Fail(saved);
+    std::printf("snapshot saved to %s (restore with --from-snapshot)\n\n",
+                save_snapshot_path.c_str());
   }
 
   int64_t root = session->RootDeltaP();
@@ -206,20 +240,48 @@ int Demo() {
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   std::string append_path;
+  std::string save_snapshot_path;
+  std::string from_snapshot_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--append") {
+    std::string arg = argv[i];
+    auto flag_value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --append needs a file argument\n");
-        return 4;
+        std::fprintf(stderr, "error: %s needs a file argument\n", flag);
+        return nullptr;
       }
-      append_path = argv[++i];
+      return argv[++i];
+    };
+    if (arg == "--append") {
+      const char* v = flag_value("--append");
+      if (v == nullptr) return 4;
+      append_path = v;
+    } else if (arg == "--save-snapshot") {
+      const char* v = flag_value("--save-snapshot");
+      if (v == nullptr) return 4;
+      save_snapshot_path = v;
+    } else if (arg == "--from-snapshot") {
+      const char* v = flag_value("--from-snapshot");
+      if (v == nullptr) return 4;
+      from_snapshot_path = v;
     } else {
-      args.emplace_back(argv[i]);
+      args.emplace_back(std::move(arg));
     }
   }
+  if (!from_snapshot_path.empty()) {
+    // The snapshot carries the data AND the FDs, so only tau_r remains.
+    if (args.size() != 1) {
+      std::fprintf(stderr, "error: usage: --from-snapshot <file.snap> "
+                           "<tau_r>\n");
+      return 4;
+    }
+    double tau_r = std::atof(args[0].c_str());
+    return RunRepair(Session::OpenSnapshot(from_snapshot_path), tau_r,
+                     append_path, save_snapshot_path,
+                     /*from_snapshot=*/true);
+  }
   if (args.size() < 3) {
-    if (!append_path.empty()) {
-      std::fprintf(stderr, "error: --append needs the full positional "
+    if (!append_path.empty() || !save_snapshot_path.empty()) {
+      std::fprintf(stderr, "error: flags need the full positional "
                            "arguments too: <file.csv> <tau_r> <fd> [...]\n");
       return 4;
     }
@@ -227,5 +289,6 @@ int main(int argc, char** argv) {
   }
   double tau_r = std::atof(args[1].c_str());
   std::vector<std::string> fds(args.begin() + 2, args.end());
-  return RunRepair(Session::OpenCsv(args[0], fds), tau_r, append_path);
+  return RunRepair(Session::OpenCsv(args[0], fds), tau_r, append_path,
+                   save_snapshot_path);
 }

@@ -12,6 +12,13 @@ connections (one per tenant plus one mixed). Asserts:
     any shed request is an admission-control bug,
   * per-tenant stats see the deltas (data_version advanced, tuples grew),
   * the server exits 0 after the shutdown verb.
+
+Then the warm-restart phase: save_snapshot the delta-mutated tenant, kill
+the server, restart it with --tenant-snapshot pointing at the file, and
+assert the restored tenant answers the SAME repair requests with
+bit-identical responses (modulo wall-clock "seconds"). Also exercises
+unload_tenant: an unloaded tenant's next request transparently reloads it
+and still answers identically.
 """
 
 import json
@@ -78,6 +85,38 @@ def drive_tenant(port, tenant, rounds, errors):
         errors.append(f"{tenant}: {type(e).__name__}: {e}")
 
 
+def start_server(server_bin, extra_args):
+    """Launches the server and returns (proc, port) once it is listening."""
+    proc = subprocess.Popen(
+        [server_bin, "--port", "0", "--workers", "2",
+         "--queue-depth", "1024"] + extra_args,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    line = proc.stdout.readline()
+    m = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+    assert m, f"no listening banner, got: {line!r}"
+    return proc, int(m.group(1))
+
+
+# The fixed request grid of the warm-restart bit-identity check: fully
+# deterministic (explicit seeds), covering both τ forms.
+PROBE_REQUESTS = [
+    {"op": "repair", "tenant": "hosp", "tau_r": 0.5, "seed": 7},
+    {"op": "repair", "tenant": "hosp", "tau_r": 1.0, "seed": 3},
+    {"op": "repair", "tenant": "hosp", "tau": 0, "seed": 1},
+]
+
+
+def probe_responses(conn):
+    """The probe grid's responses with the wall-clock field stripped —
+    everything else must be bit-identical across a warm restart."""
+    out = []
+    for req in PROBE_REQUESTS:
+        r = conn.rpc(req)
+        r.pop("seconds", None)
+        out.append(json.dumps(r, sort_keys=True))
+    return out
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__)
@@ -90,16 +129,8 @@ def main():
     write_tenant_csv(csv_a, 80, 9)
     write_tenant_csv(csv_b, 60, 7)
 
-    proc = subprocess.Popen(
-        [server_bin, "--port", "0", "--workers", "2",
-         "--queue-depth", "1024"],
-        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    proc, port = start_server(server_bin, ["--snapshot-dir", tmp])
     try:
-        line = proc.stdout.readline()
-        m = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
-        assert m, f"no listening banner, got: {line!r}"
-        port = int(m.group(1))
-
         ctl = Conn(port)
         for tenant, path in (("hosp", csv_a), ("census", csv_b)):
             r = ctl.rpc({"op": "load_tenant", "tenant": tenant, "csv": path,
@@ -139,12 +170,63 @@ def main():
                   f"v={ts['data_version']} "
                   f"cache_bytes={ts['cache']['bytes_estimate']}")
 
+        # --- warm-restart phase -----------------------------------------
+        # Baseline answers of the delta-mutated tenant, then a consistent-
+        # cut snapshot of it.
+        baseline = probe_responses(ctl)
+        snap = os.path.join(tmp, "hosp.snap")
+        r = ctl.rpc({"op": "save_snapshot", "tenant": "hosp", "path": snap})
+        assert r.get("ok") and r.get("path") == snap, r
+        assert os.path.getsize(snap) > 0
+
+        # unload_tenant releases the session; census is DIRTY (its CSV
+        # spec cannot reproduce the applied deltas) so the registry
+        # auto-saves it to --snapshot-dir first, and the next request
+        # reloads it transparently from that snapshot.
+        r = ctl.rpc({"op": "unload_tenant", "tenant": "census"})
+        assert r.get("ok") and r.get("unloaded"), r
+        ts = ctl.rpc({"op": "stats", "tenant": "census"})
+        assert ts.get("ok"), ts
+        assert ts["loaded"] is False or not ts["loaded"], \
+            f"census still loaded after unload: {ts}"
+        r = ctl.rpc({"op": "repair", "tenant": "census", "tau_r": 1.0})
+        assert r.get("ok"), f"repair after unload failed: {r}"
+
         r = ctl.rpc({"op": "shutdown"})
         assert r.get("ok"), r
         ctl.close()
         proc.wait(timeout=30)
         assert proc.returncode == 0, f"server exit {proc.returncode}"
-        print("service smoke: OK")
+
+        # Kill-and-restart: the replacement process restores hosp from the
+        # snapshot file (no CSV, no O(n^2) rebuild) and must answer the
+        # SAME probe grid identically.
+        proc, port = start_server(
+            server_bin,
+            ["--tenant-snapshot", f"hosp={snap}", "--snapshot-dir", tmp])
+        ctl = Conn(port)
+        restored = probe_responses(ctl)
+        assert restored == baseline, (
+            "warm restart diverged:\n" +
+            "\n".join(f"want {w}\n got {g}"
+                      for w, g in zip(baseline, restored) if w != g))
+        ts = ctl.rpc({"op": "stats", "tenant": "hosp"})
+        assert ts.get("ok") and ts["loaded"], ts
+        assert ts["num_tuples"] == 80 + 4, ts   # the deltas survived
+        assert ts["data_version"] == 5, ts
+
+        # Unload/reload round trip on the restored tenant stays identical.
+        r = ctl.rpc({"op": "unload_tenant", "tenant": "hosp"})
+        assert r.get("ok"), r
+        assert probe_responses(ctl) == baseline, \
+            "reload after unload diverged"
+
+        r = ctl.rpc({"op": "shutdown"})
+        assert r.get("ok"), r
+        ctl.close()
+        proc.wait(timeout=30)
+        assert proc.returncode == 0, f"server exit {proc.returncode}"
+        print("service smoke (incl. warm restart): OK")
         return 0
     finally:
         if proc.poll() is None:

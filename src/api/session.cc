@@ -1,8 +1,10 @@
 #include "src/api/session.h"
 
 #include <cmath>
+#include <filesystem>
 #include <utility>
 
+#include "src/persist/snapshot.h"
 #include "src/relational/csv.h"
 #include "src/repair/weights.h"
 #include "src/util/hash.h"
@@ -102,6 +104,13 @@ Session::Session(Instance data, SessionOptions opts)
       mu_(std::make_unique<std::mutex>()),
       state_mu_(std::make_unique<std::shared_mutex>()) {}
 
+Session::Session(Instance data, EncodedInstance encoded, SessionOptions opts)
+    : instance_(std::make_unique<Instance>(std::move(data))),
+      encoded_(std::make_unique<EncodedInstance>(std::move(encoded))),
+      opts_(opts),
+      mu_(std::make_unique<std::mutex>()),
+      state_mu_(std::make_unique<std::shared_mutex>()) {}
+
 Result<Session> Session::Open(Instance data, FDSet sigma,
                               SessionOptions opts) {
   Session session(std::move(data), std::move(opts));
@@ -127,6 +136,188 @@ Result<Session> Session::OpenCsv(const std::string& path,
   } catch (const std::exception& e) {
     return Status::Error(StatusCode::kIoError, e.what());
   }
+}
+
+Result<Session> Session::OpenSnapshot(const std::string& path,
+                                      SessionOptions opts) {
+  Result<persist::SnapshotData> data = persist::ReadSnapshotFile(path);
+  if (!data.ok()) return data.status();
+  // Σ comes FROM the snapshot; what must match is the caller's (weights,
+  // heuristic) configuration, or the warm caches would encode a different
+  // cost model than the session claims to run.
+  const uint64_t expected = persist::ConfigFingerprint(
+      data->sigma, static_cast<uint8_t>(opts.weights), opts.heuristic);
+  if (expected != data->fingerprint) {
+    return Status::Error(
+        StatusCode::kSchemaMismatch,
+        "snapshot '" + path +
+            "' was saved under a different (weights, heuristic) "
+            "configuration than this session requests");
+  }
+  // Defense in depth: the stored stamp must describe the stored data. A
+  // file that passes its CRC but fails this was assembled inconsistently.
+  if (persist::DataStamp(data->encoded) != data->data_stamp) {
+    return Status::Error(StatusCode::kIoError,
+                         "snapshot '" + path +
+                             "' data stamp does not match its own payload");
+  }
+  try {
+    Instance decoded = data->encoded.Decode();
+    decoded.RestoreNextVarCounters(std::move(data->instance_next_var));
+    Session session(std::move(decoded), std::move(data->encoded),
+                    std::move(opts));
+    Status adopted =
+        session.AdoptContext(std::move(data->sigma), std::move(data->index),
+                             std::move(data->warm), data->root_delta_p);
+    if (!adopted.ok()) return adopted;
+    session.data_version_ = data->data_version;
+    return session;
+  } catch (const std::exception& e) {
+    return Status::Error(StatusCode::kIoError,
+                         "snapshot '" + path +
+                             "' could not be restored: " + e.what());
+  }
+}
+
+Status Session::AdoptContext(FDSet sigma, DifferenceSetIndex index,
+                             DeltaPEvaluator::WarmState warm,
+                             int64_t expected_root_delta_p) {
+  Status status = Validate(sigma);
+  if (!status.ok()) return status;
+  try {
+    const uint64_t fp = Fingerprint(sigma, opts_);
+    std::lock_guard<std::mutex> lock(*mu_);
+    const WeightFunction* weights = &WeightFor(opts_.weights);
+    auto bundle = std::make_shared<ContextBundle>();
+    bundle->sigma = std::move(sigma);
+    bundle->weights = weights;
+    bundle->context = std::make_unique<FdSearchContext>(
+        bundle->sigma, *encoded_, *weights, opts_.heuristic, std::move(index),
+        std::move(warm));
+    bundle->sweep = std::make_unique<exec::Sweep>(*bundle->context, *encoded_,
+                                                 opts_.exec,
+                                                 opts_.shared_pool);
+    bundle->root_delta_p = bundle->context->RootDeltaP();
+    if (bundle->root_delta_p != expected_root_delta_p) {
+      return Status::Error(
+          StatusCode::kIoError,
+          "snapshot failed its restore self-check: recomputed root deltaP " +
+              std::to_string(bundle->root_delta_p) + " != saved " +
+              std::to_string(expected_root_delta_p));
+    }
+    bundle->edges = IndexEdges(*bundle->context);
+    bundle->bytes = EstimateContextBytes(bundle->edges,
+                                         bundle->context->index().size());
+    bundle->last_used = ++use_clock_;
+    ++cache_misses_;  // a restore builds (cheaply); it did not hit the cache
+    cache_[fp].push_back(bundle);
+    active_fingerprint_ = fp;
+    active_ = std::move(bundle);
+  } catch (const std::exception& e) {
+    return Status::Error(StatusCode::kIoError,
+                         std::string("snapshot restore failed: ") + e.what());
+  }
+  return Status::Ok();
+}
+
+Status Session::SaveSnapshot(const std::string& path) const {
+  std::shared_lock<std::shared_mutex> snapshot(*state_mu_);
+  try {
+    persist::SnapshotView view;
+    view.fingerprint = persist::ConfigFingerprint(
+        active_->sigma, static_cast<uint8_t>(opts_.weights), opts_.heuristic);
+    view.data_stamp = persist::DataStamp(*encoded_);
+    view.data_version = data_version_;
+    view.root_delta_p = active_->root_delta_p;
+    view.weight_model = static_cast<uint8_t>(opts_.weights);
+    view.heuristic = opts_.heuristic;
+    view.encoded = encoded_.get();
+    view.instance_next_var = &instance_->next_var_counters();
+    view.sigma = &active_->sigma;
+    view.index = &active_->context->index();
+    view.warm = active_->context->evaluator().ExportWarmState();
+    return persist::WriteSnapshotFile(path, view);
+  } catch (const std::exception& e) {
+    return Status::Error(StatusCode::kInternal, e.what());
+  }
+}
+
+Status Session::EnableJournal(const std::string& path) {
+  std::unique_lock<std::shared_mutex> snapshot(*state_mu_);
+  const uint64_t fp = persist::ConfigFingerprint(
+      active_->sigma, static_cast<uint8_t>(opts_.weights), opts_.heuristic);
+  std::error_code ec;
+  const bool exists = std::filesystem::exists(path, ec) && !ec &&
+                      std::filesystem::file_size(path, ec) > 0 && !ec;
+  if (exists) {
+    auto writer = persist::JournalWriter::Append(path, fp);
+    if (!writer.ok()) return writer.status();
+    const persist::JournalHeader& header = (*writer)->header();
+    if (header.base_version + (*writer)->num_records() != data_version_) {
+      return Status::Error(
+          StatusCode::kInvalidArgument,
+          "journal '" + path + "' ends at data version " +
+              std::to_string(header.base_version + (*writer)->num_records()) +
+              " but this session is at " + std::to_string(data_version_) +
+              "; replay it first");
+    }
+    journal_ = std::move(*writer);
+    return Status::Ok();
+  }
+  persist::JournalHeader header;
+  header.fingerprint = fp;
+  header.base_stamp = persist::DataStamp(*encoded_);
+  header.base_version = data_version_;
+  auto writer = persist::JournalWriter::Create(path, header);
+  if (!writer.ok()) return writer.status();
+  journal_ = std::move(*writer);
+  return Status::Ok();
+}
+
+Result<int> Session::ReplayJournal(const std::string& path) {
+  Result<persist::JournalContents> contents = persist::ReadJournalFile(path);
+  if (!contents.ok()) return contents.status();
+  {
+    std::shared_lock<std::shared_mutex> snapshot(*state_mu_);
+    if (journal_ != nullptr) {
+      return Status::Error(
+          StatusCode::kInvalidArgument,
+          "cannot replay while a journal is attached (replayed batches "
+          "would be re-logged); replay first, then EnableJournal");
+    }
+    const uint64_t fp = persist::ConfigFingerprint(
+        active_->sigma, static_cast<uint8_t>(opts_.weights), opts_.heuristic);
+    if (contents->header.fingerprint != fp) {
+      return Status::Error(
+          StatusCode::kSchemaMismatch,
+          "journal '" + path +
+              "' was written under a different Σ/weights configuration");
+    }
+    if (contents->header.base_stamp != persist::DataStamp(*encoded_)) {
+      return Status::Error(StatusCode::kSchemaMismatch,
+                           "journal '" + path +
+                               "' extends a different base dataset");
+    }
+    if (contents->header.base_version != data_version_) {
+      return Status::Error(
+          StatusCode::kInvalidArgument,
+          "journal '" + path + "' is based at data version " +
+              std::to_string(contents->header.base_version) +
+              " but this session is at " + std::to_string(data_version_));
+    }
+  }
+  int applied = 0;
+  for (const DeltaBatch& batch : contents->batches) {
+    Result<ApplyStats> stats = Apply(batch);
+    if (!stats.ok()) {
+      return Status::Error(stats.status().code(),
+                           "journal '" + path + "' replay stopped at record " +
+                               std::to_string(applied) + ": " +
+                               stats.status().message());
+    }
+    ++applied;
+  }
+  return applied;
 }
 
 Status Session::Validate(const FDSet& sigma) const {
@@ -291,6 +482,13 @@ Result<ApplyStats> Session::Apply(const DeltaBatch& delta) {
   } catch (const std::invalid_argument& e) {
     // Validation failed before anything mutated; the session is untouched.
     return Status::Error(StatusCode::kInvalidArgument, e.what());
+  }
+  if (journal_ != nullptr) {
+    // Write-ahead: the batch is durable before anything mutates, so the
+    // journal is always >= the in-memory state (a logged-but-unapplied
+    // batch after a crash replays to the state this Apply was producing).
+    Status logged = journal_->AppendBatch(delta);
+    if (!logged.ok()) return logged;
   }
   try {
     instance_->ApplyDelta(delta, plan);

@@ -42,6 +42,7 @@
 #include "src/api/status.h"
 #include "src/exec/cancel.h"
 #include "src/exec/sweep.h"
+#include "src/persist/journal.h"
 #include "src/relational/delta.h"
 #include "src/repair/multi_repair.h"
 
@@ -203,6 +204,42 @@ class Session {
                                  const std::vector<std::string>& fd_texts,
                                  SessionOptions opts = {});
 
+  /// Opens a session from a snapshot file (src/persist/), adopting the
+  /// saved dataset, Σ, difference-set index, and warm caches instead of
+  /// paying the O(n²) context build — answers are bit-identical to a
+  /// session opened from the original data, at any thread count (the
+  /// snapshot fingerprint deliberately excludes `opts.exec`). The caller's
+  /// (weights, heuristic) must match what the snapshot was saved under:
+  /// mismatch → kSchemaMismatch. Unreadable/corrupt → kIoError; a format
+  /// version this build does not speak → kVersionMismatch. Never throws
+  /// and never crashes on hostile bytes.
+  static Result<Session> OpenSnapshot(const std::string& path,
+                                      SessionOptions opts = {});
+
+  /// Saves the live dataset plus the ACTIVE context's warm state to
+  /// `path`. Safe against concurrent const requests (takes the snapshot
+  /// lock shared — a concurrent Apply is excluded, so the file is a
+  /// consistent cut at one DataVersion()).
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Attaches an append-only delta journal: every subsequent successful
+  /// Apply() first logs its batch to `path` (write-ahead), so a loader can
+  /// rebuild this session as base snapshot + replay. An existing journal
+  /// is continued iff its fingerprint matches this session's configuration
+  /// (else kSchemaMismatch) and its base_version + records == DataVersion()
+  /// (else kInvalidArgument — replay it first); a missing/empty file
+  /// starts a fresh journal based at the current DataVersion(). A torn
+  /// trailing record from a crashed append is truncated, not fatal.
+  Status EnableJournal(const std::string& path);
+
+  /// Replays every batch of a journal through Apply(), in order, and
+  /// returns how many were applied. The journal must extend THIS state:
+  /// fingerprint and base DataStamp must match (else kSchemaMismatch) and
+  /// base_version must equal DataVersion() (else kInvalidArgument).
+  /// Refused while a journal is attached (kInvalidArgument): replay first,
+  /// then EnableJournal, so replayed batches are never re-logged.
+  Result<int> ReplayJournal(const std::string& path);
+
   Session(Session&&) = default;
   Session& operator=(Session&&) = default;
   Session(const Session&) = delete;
@@ -312,6 +349,19 @@ class Session {
   };
 
   Session(Instance data, SessionOptions opts);
+  /// Restore path (OpenSnapshot): adopts a saved EncodedInstance directly
+  /// instead of re-encoding `data` — re-encoding would reset the
+  /// fresh-variable counters, breaking bit-identical variable allocation
+  /// in post-restore repairs.
+  Session(Instance data, EncodedInstance encoded, SessionOptions opts);
+
+  /// Installs a restored context as the active bundle (OpenSnapshot's
+  /// counterpart of BundleFor): validates Σ, rebuilds the sweep, and
+  /// self-checks the restored root δP against the snapshot's
+  /// (mismatch → kIoError, the file lied about its own content).
+  Status AdoptContext(FDSet sigma, DifferenceSetIndex index,
+                      DeltaPEvaluator::WarmState warm,
+                      int64_t expected_root_delta_p);
 
   Status Validate(const FDSet& sigma) const;
   const WeightFunction& WeightFor(WeightModel model);
@@ -361,6 +411,9 @@ class Session {
   /// snapshot lock serializes) — streaming small deltas pays no per-batch
   /// thread churn. Null until the first parallel Apply.
   std::unique_ptr<exec::ThreadPool> apply_pool_;
+  /// Write-ahead delta journal (EnableJournal); Apply logs each batch
+  /// before mutating. Guarded by the exclusive snapshot lock.
+  std::unique_ptr<persist::JournalWriter> journal_;
   uint64_t data_version_ = 1;
   uint64_t use_clock_ = 0;
   uint64_t cache_hits_ = 0;

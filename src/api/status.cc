@@ -12,6 +12,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kBudgetExceeded: return "budget_exceeded";
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kIoError: return "io_error";
+    case StatusCode::kVersionMismatch: return "version_mismatch";
     case StatusCode::kOverloaded: return "overloaded";
     case StatusCode::kInternal: return "internal";
   }

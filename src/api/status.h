@@ -27,7 +27,9 @@ enum class StatusCode : int {
   kNoRepairWithinTau,   ///< Algorithm 2 proved no relaxation fits the budget
   kBudgetExceeded,      ///< visit budget or deadline expired before an answer
   kCancelled,           ///< the request's CancelToken fired
-  kIoError,             ///< dataset could not be read/written
+  kIoError,             ///< dataset/snapshot could not be read/written
+  kVersionMismatch,     ///< a snapshot/journal was written by an
+                        ///< incompatible format version
   kOverloaded,          ///< the service shed the request (queue full,
                         ///< tenant cap, or deadline-infeasible load)
   kInternal,            ///< an internal-layer exception escaped (bug)

@@ -63,6 +63,14 @@ class DifferenceSetIndex {
   DifferenceSetIndex(const EncodedInstance& inst, const ConflictGraph& cg,
                      exec::ThreadPool* pool);
 
+  /// Restores an index from its serialized groups (src/persist/). The
+  /// groups must already be in the canonical (descending frequency,
+  /// smaller mask) order a live index produced — snapshots save them in
+  /// that order and the loader trusts it (the file checksum guards against
+  /// corruption).
+  explicit DifferenceSetIndex(std::vector<DiffSetGroup> groups)
+      : groups_(std::move(groups)) {}
+
   /// Incrementally maintains the index after `inst` had a delta applied
   /// (delta.h). `dirty` is the plan's post-delta dirty id set (ascending)
   /// and `remap` its old->new id map; the index must have been built over

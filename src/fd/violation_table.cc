@@ -45,6 +45,25 @@ ViolationTable::ViolationTable(const FDSet& sigma,
   RebuildCandidates();
 }
 
+ViolationTable::ViolationTable(const FDSet& sigma,
+                               const DifferenceSetIndex& index,
+                               std::vector<uint64_t> fd_mask_rows)
+    : num_fds_(sigma.size()), num_groups_(index.size()) {
+  if (num_fds_ > 64) {
+    throw std::invalid_argument("ViolationTable supports at most 64 FDs");
+  }
+  if (fd_mask_rows.size() != static_cast<size_t>(num_groups_)) {
+    throw std::invalid_argument(
+        "restored incidence rows do not match the index's group count");
+  }
+  fd_mask_ = std::move(fd_mask_rows);
+  diff_bits_.resize(num_groups_);
+  for (int g = 0; g < num_groups_; ++g) {
+    diff_bits_[g] = index.group(g).diff.bits();
+  }
+  RebuildCandidates();
+}
+
 int ViolationTable::ApplyPatch(const FDSet& sigma,
                                const DifferenceSetIndex& index,
                                const std::vector<int32_t>& old_to_new,

@@ -44,6 +44,16 @@ class ViolationTable {
   ViolationTable(const FDSet& sigma, const DifferenceSetIndex& index,
                  exec::ThreadPool* pool = nullptr);
 
+  /// Restores a table from its serialized per-group incidence rows
+  /// (src/persist/): `fd_mask_rows[g]` is the precomputed FD mask of
+  /// index group g, the deactivating attribute masks are re-read from the
+  /// index, and the per-FD candidate assembly reruns in canonical order.
+  /// Bit-identical to a from-scratch build over the same (Σ, index).
+  /// Throws std::invalid_argument when the row count does not match the
+  /// index.
+  ViolationTable(const FDSet& sigma, const DifferenceSetIndex& index,
+                 std::vector<uint64_t> fd_mask_rows);
+
   /// Incrementally maintains the table after `index` was patched by a
   /// delta (same `sigma` as the build). A group's incidence row is a pure
   /// function of (difference set, Σ), so preserved groups copy their old
@@ -82,6 +92,11 @@ class ViolationTable {
 
   /// Groups that can violate FD i regardless of extensions (Y_i = ∅).
   const GroupBitset& candidates(int i) const { return cand_mask_[i]; }
+
+  /// Per-group precomputed FD masks in canonical group order — the
+  /// serialization surface of src/persist/ (the deactivating attribute
+  /// masks are derivable from the difference-set index and are not saved).
+  const std::vector<uint64_t>& fd_masks() const { return fd_mask_; }
 
  private:
   /// Rebuilds cand_groups_/cand_mask_ from fd_mask_ serially in canonical

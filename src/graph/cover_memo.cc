@@ -230,6 +230,37 @@ int32_t CoverMemo::ComputeSeq(const std::vector<int32_t>& seq, SeqScratch* s,
   return size;
 }
 
+CoverMemo::SnapshotEntries CoverMemo::ExportEntries() const {
+  SnapshotEntries out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.set_entries.assign(set_memo_.begin(), set_memo_.end());
+  out.seq_entries.assign(seq_memo_.begin(), seq_memo_.end());
+  std::sort(out.set_entries.begin(), out.set_entries.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.words() < b.first.words();
+            });
+  std::sort(out.seq_entries.begin(), out.seq_entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void CoverMemo::Preload(SnapshotEntries entries) {
+  const int n = num_groups();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, value] : entries.set_entries) {
+    if (key.num_bits() != n) continue;
+    if (set_memo_.size() >= max_entries_) break;
+    set_memo_.emplace(std::move(key), value);
+  }
+  for (auto& [seq, value] : entries.seq_entries) {
+    bool in_range = true;
+    for (int32_t g : seq) in_range = in_range && g >= 0 && g < n;
+    if (!in_range) continue;
+    if (seq_memo_.size() >= max_entries_) break;
+    seq_memo_.emplace(std::move(seq), value);
+  }
+}
+
 CoverMemo::Stats CoverMemo::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;

@@ -68,6 +68,14 @@ class CoverMemo {
     size_t entries_dropped = 0;
   };
 
+  /// The memo's cached covers in serialization form (src/persist/). Values
+  /// are pure functions of their keys, so carrying entries across a
+  /// save/load can only change wall-clock time, never a result.
+  struct SnapshotEntries {
+    std::vector<std::pair<GroupBitset, int32_t>> set_entries;
+    std::vector<std::pair<std::vector<int32_t>, int32_t>> seq_entries;
+  };
+
   /// `groups[g]` is group g's edge list; the pointed-to vectors must
   /// outlive the memo (FdSearchContext owns the DifferenceSetIndex they
   /// live in). `max_entries` caps EACH memo map; overflow disables
@@ -101,6 +109,16 @@ class CoverMemo {
   /// concatenation did.
   int32_t CoverSizeOrdered(const std::vector<int32_t>& seq,
                            bool* memo_hit = nullptr) const;
+
+  /// Copies every cached cover, sorted by key so the export (and therefore
+  /// a snapshot's bytes) is deterministic regardless of the unordered
+  /// maps' iteration order.
+  SnapshotEntries ExportEntries() const;
+
+  /// Seeds the memo maps from exported entries (subject to max_entries).
+  /// Entries whose keys do not fit this memo's group family — wrong bitset
+  /// width, out-of-range group ids — are skipped rather than trusted.
+  void Preload(SnapshotEntries entries);
 
   int num_groups() const { return static_cast<int>(groups_.size()); }
   Stats stats() const;

@@ -1,0 +1,125 @@
+// Byte-level primitives of the persistence layer: a CRC-32 checksum and a
+// pair of bounds-checked little-endian buffer codecs.
+//
+// Snapshots and journals are written through ByteWriter (which accumulates
+// into one contiguous buffer, so the checksum can be computed over exactly
+// the bytes that hit disk) and read through ByteReader, whose reads never
+// throw: any out-of-bounds access latches a failure flag and returns
+// zeros/empties, and the caller checks ok() once at the end — truncated
+// files surface as one clean error instead of a crash.
+//
+// The encoding is fixed little-endian regardless of host order, so a
+// snapshot is a portable artifact, not a memory dump.
+
+#ifndef RETRUST_PERSIST_IO_H_
+#define RETRUST_PERSIST_IO_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace retrust::persist {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) of `len` bytes.
+uint32_t Crc32(const void* data, size_t len);
+
+/// Append-only little-endian encoder over one growable buffer.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof v); }
+  void U64(uint64_t v) { Raw(&v, sizeof v); }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    buf_.append(s);
+  }
+
+  const std::string& buffer() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void Raw(const void* v, size_t n) {
+    // Serialize least-significant byte first on any host.
+    const auto* p = static_cast<const unsigned char*>(v);
+    if constexpr (std::endian::native == std::endian::little) {
+      buf_.append(reinterpret_cast<const char*>(p), n);
+    } else {
+      for (size_t i = n; i-- > 0;) buf_.push_back(static_cast<char>(p[i]));
+    }
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed buffer. Reads past
+/// the end latch failed() and return zero values; check ok() after the
+/// last read instead of after each one.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return !failed_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, sizeof v);
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, sizeof v);
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, sizeof v);
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64() { return std::bit_cast<double>(U64()); }
+  std::string Str() {
+    uint64_t n = U64();
+    // The length prefix itself may be garbage on corrupt input; refuse to
+    // allocate more than what is actually left in the buffer.
+    if (failed_ || n > remaining()) {
+      failed_ = true;
+      return {};
+    }
+    std::string s(data_.substr(pos_, static_cast<size_t>(n)));
+    pos_ += static_cast<size_t>(n);
+    return s;
+  }
+
+ private:
+  void Raw(void* v, size_t n) {
+    if (failed_ || n > remaining()) {
+      failed_ = true;
+      std::memset(v, 0, n);
+      return;
+    }
+    auto* p = static_cast<unsigned char*>(v);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(p, data_.data() + pos_, n);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        p[n - 1 - i] = static_cast<unsigned char>(data_[pos_ + i]);
+      }
+    }
+    pos_ += n;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace retrust::persist
+
+#endif  // RETRUST_PERSIST_IO_H_

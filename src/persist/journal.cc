@@ -1,0 +1,314 @@
+#include "src/persist/journal.h"
+
+#include <cstring>
+#include <filesystem>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#include "src/persist/io.h"
+
+namespace retrust::persist {
+
+namespace {
+
+constexpr size_t kPrefixSize = sizeof(kJournalMagic) + sizeof(uint32_t);
+constexpr size_t kHeaderSize = 3 * sizeof(uint64_t);
+
+constexpr uint8_t kValueNull = 0;
+constexpr uint8_t kValueInt = 1;
+constexpr uint8_t kValueDouble = 2;
+constexpr uint8_t kValueString = 3;
+constexpr uint8_t kValueVariable = 4;
+
+// Duplicated from snapshot.cc rather than shared: the two formats version
+// independently, and a change to one codec must not silently change the
+// other's bytes.
+void WriteValue(ByteWriter* w, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      w->U8(kValueNull);
+      break;
+    case Value::Kind::kInt:
+      w->U8(kValueInt);
+      w->I64(v.AsInt());
+      break;
+    case Value::Kind::kDouble:
+      w->U8(kValueDouble);
+      w->F64(v.AsDouble());
+      break;
+    case Value::Kind::kString:
+      w->U8(kValueString);
+      w->Str(v.AsString());
+      break;
+    case Value::Kind::kVariable: {
+      VarRef var = v.AsVariable();
+      w->U8(kValueVariable);
+      w->I32(var.attr);
+      w->I32(var.index);
+      break;
+    }
+  }
+}
+
+Value ReadValue(ByteReader* r) {
+  switch (r->U8()) {
+    case kValueNull:
+      return Value::Null();
+    case kValueInt:
+      return Value(r->I64());
+    case kValueDouble:
+      return Value(r->F64());
+    case kValueString:
+      return Value(r->Str());
+    case kValueVariable: {
+      AttrId attr = r->I32();
+      int32_t index = r->I32();
+      return Value::Variable(attr, index);
+    }
+    default:
+      throw std::invalid_argument("unknown value tag");
+  }
+}
+
+Status IoError(const std::string& message) {
+  return Status::Error(StatusCode::kIoError, message);
+}
+
+bool PlausibleCount(uint64_t count, const ByteReader& r) {
+  return count <= r.remaining();
+}
+
+/// Validates the fixed prefix of journal bytes. Returns the header start
+/// offset via `*body`, or an error.
+Status CheckPrefix(const std::string& path, const std::string& bytes,
+                   JournalHeader* header) {
+  if (bytes.size() < kPrefixSize + kHeaderSize ||
+      std::memcmp(bytes.data(), kJournalMagic, sizeof(kJournalMagic)) != 0) {
+    return IoError("'" + path + "' is not a retrust journal");
+  }
+  ByteReader r(std::string_view(bytes).substr(sizeof(kJournalMagic)));
+  const uint32_t version = r.U32();
+  if (version != kJournalFormatVersion) {
+    return Status::Error(
+        StatusCode::kVersionMismatch,
+        "journal '" + path + "' has format version " +
+            std::to_string(version) + "; this build speaks version " +
+            std::to_string(kJournalFormatVersion));
+  }
+  header->fingerprint = r.U64();
+  header->base_stamp = r.U64();
+  header->base_version = r.U64();
+  return Status::Ok();
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open journal '" + path + "'");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return IoError("read failure on journal '" + path + "'");
+  return bytes;
+}
+
+/// Walks the records after the header. On success fills `payloads` with the
+/// complete records' payload bytes and reports whether a torn tail was
+/// skipped; `*end` is the offset just past the last complete record.
+Status ScanRecords(const std::string& path, const std::string& bytes,
+                   std::vector<std::string>* payloads, bool* torn_tail,
+                   size_t* end) {
+  size_t pos = kPrefixSize + kHeaderSize;
+  *torn_tail = false;
+  while (pos < bytes.size()) {
+    const size_t left = bytes.size() - pos;
+    if (left < sizeof(uint32_t)) {
+      *torn_tail = true;
+      break;
+    }
+    ByteReader len_reader(std::string_view(bytes).substr(pos));
+    const uint64_t len = len_reader.U32();
+    if (left < sizeof(uint32_t) + len + sizeof(uint32_t)) {
+      // The record's frame extends past EOF: a torn append, not corruption.
+      *torn_tail = true;
+      break;
+    }
+    const char* payload = bytes.data() + pos + sizeof(uint32_t);
+    ByteReader crc_reader(std::string_view(bytes).substr(
+        pos + sizeof(uint32_t) + static_cast<size_t>(len)));
+    if (crc_reader.U32() != Crc32(payload, static_cast<size_t>(len))) {
+      return IoError("journal '" + path + "' record " +
+                     std::to_string(payloads->size()) +
+                     " failed its checksum");
+    }
+    payloads->emplace_back(payload, static_cast<size_t>(len));
+    pos += sizeof(uint32_t) + static_cast<size_t>(len) + sizeof(uint32_t);
+  }
+  *end = pos;
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeDeltaBatch(const DeltaBatch& batch) {
+  ByteWriter w;
+  w.U64(batch.inserts.size());
+  for (const Tuple& t : batch.inserts) {
+    w.U64(t.size());
+    for (const Value& v : t) WriteValue(&w, v);
+  }
+  w.U64(batch.updates.size());
+  for (const CellUpdate& u : batch.updates) {
+    w.I32(u.tuple);
+    w.I32(u.attr);
+    WriteValue(&w, u.value);
+  }
+  w.U64(batch.deletes.size());
+  for (TupleId t : batch.deletes) w.I32(t);
+  return w.buffer();
+}
+
+Result<DeltaBatch> DecodeDeltaBatch(const std::string& payload) {
+  ByteReader r{std::string_view(payload)};
+  DeltaBatch batch;
+  try {
+    const uint64_t num_inserts = r.U64();
+    if (!PlausibleCount(num_inserts, r)) {
+      return IoError("delta record has an implausible insert count");
+    }
+    batch.inserts.reserve(static_cast<size_t>(num_inserts));
+    for (uint64_t i = 0; i < num_inserts; ++i) {
+      const uint64_t arity = r.U64();
+      if (!PlausibleCount(arity, r)) {
+        return IoError("delta record has an implausible tuple arity");
+      }
+      Tuple t;
+      t.reserve(static_cast<size_t>(arity));
+      for (uint64_t a = 0; a < arity; ++a) t.push_back(ReadValue(&r));
+      batch.inserts.push_back(std::move(t));
+    }
+    const uint64_t num_updates = r.U64();
+    if (!PlausibleCount(num_updates, r)) {
+      return IoError("delta record has an implausible update count");
+    }
+    batch.updates.reserve(static_cast<size_t>(num_updates));
+    for (uint64_t i = 0; i < num_updates; ++i) {
+      CellUpdate u;
+      u.tuple = r.I32();
+      u.attr = r.I32();
+      u.value = ReadValue(&r);
+      batch.updates.push_back(std::move(u));
+    }
+    const uint64_t num_deletes = r.U64();
+    if (!PlausibleCount(num_deletes, r)) {
+      return IoError("delta record has an implausible delete count");
+    }
+    batch.deletes.resize(static_cast<size_t>(num_deletes));
+    for (TupleId& t : batch.deletes) t = r.I32();
+  } catch (const std::exception& e) {
+    return IoError(std::string("delta record is corrupt: ") + e.what());
+  }
+  if (!r.ok() || r.remaining() != 0) {
+    return IoError("delta record has the wrong length");
+  }
+  return batch;
+}
+
+Result<JournalContents> ReadJournalFile(const std::string& path) {
+  auto bytes = ReadWholeFile(path);
+  if (!bytes.ok()) return bytes.status();
+
+  JournalContents contents;
+  Status prefix = CheckPrefix(path, *bytes, &contents.header);
+  if (!prefix.ok()) return prefix;
+
+  std::vector<std::string> payloads;
+  size_t end = 0;
+  Status scan = ScanRecords(path, *bytes, &payloads, &contents.torn_tail, &end);
+  if (!scan.ok()) return scan;
+
+  contents.batches.reserve(payloads.size());
+  for (const std::string& payload : payloads) {
+    auto batch = DecodeDeltaBatch(payload);
+    if (!batch.ok()) {
+      return Status::Error(batch.status().code(),
+                           "journal '" + path + "' record " +
+                               std::to_string(contents.batches.size()) + ": " +
+                               batch.status().message());
+    }
+    contents.batches.push_back(std::move(*batch));
+  }
+  return contents;
+}
+
+Result<std::unique_ptr<JournalWriter>> JournalWriter::Create(
+    const std::string& path, const JournalHeader& header) {
+  ByteWriter w;
+  for (char c : kJournalMagic) w.U8(static_cast<uint8_t>(c));
+  w.U32(kJournalFormatVersion);
+  w.U64(header.fingerprint);
+  w.U64(header.base_stamp);
+  w.U64(header.base_version);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return IoError("cannot create journal '" + path + "'");
+  out.write(w.buffer().data(), static_cast<std::streamsize>(w.size()));
+  out.flush();
+  if (!out) return IoError("short write to journal '" + path + "'");
+  return std::unique_ptr<JournalWriter>(
+      new JournalWriter(path, header, 0, std::move(out)));
+}
+
+Result<std::unique_ptr<JournalWriter>> JournalWriter::Append(
+    const std::string& path, uint64_t expected_fingerprint) {
+  auto bytes = ReadWholeFile(path);
+  if (!bytes.ok()) return bytes.status();
+
+  JournalHeader header;
+  Status prefix = CheckPrefix(path, *bytes, &header);
+  if (!prefix.ok()) return prefix;
+  if (header.fingerprint != expected_fingerprint) {
+    return Status::Error(
+        StatusCode::kSchemaMismatch,
+        "journal '" + path +
+            "' was written under a different Σ/weights configuration");
+  }
+
+  std::vector<std::string> payloads;
+  bool torn_tail = false;
+  size_t end = 0;
+  Status scan = ScanRecords(path, *bytes, &payloads, &torn_tail, &end);
+  if (!scan.ok()) return scan;
+  if (torn_tail) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, end, ec);
+    if (ec) {
+      return IoError("cannot truncate torn record in journal '" + path +
+                     "': " + ec.message());
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return IoError("cannot open journal '" + path + "' for append");
+  return std::unique_ptr<JournalWriter>(new JournalWriter(
+      path, header, payloads.size(), std::move(out)));
+}
+
+Status JournalWriter::AppendBatch(const DeltaBatch& batch) {
+  const std::string payload = EncodeDeltaBatch(batch);
+  ByteWriter record;
+  record.U32(static_cast<uint32_t>(payload.size()));
+  out_.write(record.buffer().data(),
+             static_cast<std::streamsize>(record.size()));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  ByteWriter crc;
+  crc.U32(Crc32(payload.data(), payload.size()));
+  out_.write(crc.buffer().data(), static_cast<std::streamsize>(crc.size()));
+  out_.flush();
+  if (!out_) {
+    return IoError("short write to journal '" + path_ + "'");
+  }
+  ++num_records_;
+  return Status::Ok();
+}
+
+}  // namespace retrust::persist

@@ -1,0 +1,106 @@
+// Append-only delta journal: the write-ahead companion of a snapshot.
+//
+// A journal extends a specific base snapshot with the DeltaBatches applied
+// after it was saved. The pairing is explicit in the header: the config
+// fingerprint (same Σ/weights/heuristic identity as the snapshot), the
+// DataStamp of the base instance, and the base data version. A loader
+// replays the batches onto the restored base in order; because every delta
+// application in the library is deterministic, the replayed session is
+// bit-identical to the one that wrote the journal.
+//
+// File layout (all integers little-endian):
+//
+//   [ 0..8)  magic "RTJOURNL"
+//   [ 8..12) u32 format version
+//   [12..36) header: u64 fingerprint, u64 base_stamp, u64 base_version
+//   then zero or more records, each:
+//     u32 payload length | payload | u32 CRC-32 of the payload
+//
+// Records are self-checking, so the file needs no trailing checksum and
+// stays appendable. A torn final record (crash mid-append) is tolerated:
+// readers stop at the last complete record and JournalWriter::Append
+// truncates the tail before continuing. A CRC failure on a COMPLETE record
+// is corruption, not a torn write, and fails the read with kIoError.
+
+#ifndef RETRUST_PERSIST_JOURNAL_H_
+#define RETRUST_PERSIST_JOURNAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/status.h"
+#include "src/relational/delta.h"
+
+namespace retrust::persist {
+
+inline constexpr char kJournalMagic[8] = {'R', 'T', 'J', 'O',
+                                          'U', 'R', 'N', 'L'};
+inline constexpr uint32_t kJournalFormatVersion = 1;
+
+/// Identity of the base a journal extends.
+struct JournalHeader {
+  uint64_t fingerprint = 0;
+  uint64_t base_stamp = 0;
+  uint64_t base_version = 0;
+};
+
+/// Serialized form of one DeltaBatch (a journal record's payload).
+/// Exposed for tests; AppendBatch/ReadJournalFile wrap it in framing.
+std::string EncodeDeltaBatch(const DeltaBatch& batch);
+Result<DeltaBatch> DecodeDeltaBatch(const std::string& payload);
+
+/// A parsed journal: its header and the complete records, in order.
+struct JournalContents {
+  JournalHeader header;
+  std::vector<DeltaBatch> batches;
+  /// True when the file ended in a torn (incomplete) record that was
+  /// skipped — informational; the complete prefix is still valid.
+  bool torn_tail = false;
+};
+
+/// Reads and validates a journal. kIoError for unreadable/corrupt files,
+/// kVersionMismatch for an unsupported format version.
+Result<JournalContents> ReadJournalFile(const std::string& path);
+
+/// Appends DeltaBatch records to one journal file. Not thread-safe; the
+/// owner (Session) serializes access under its own lock.
+class JournalWriter {
+ public:
+  /// Creates/truncates `path` and writes a fresh header.
+  static Result<std::unique_ptr<JournalWriter>> Create(
+      const std::string& path, const JournalHeader& header);
+
+  /// Opens an existing journal for appending. Validates the magic, version
+  /// and that its fingerprint matches `expected_fingerprint`; truncates a
+  /// torn trailing record. `num_records` reports the complete records
+  /// already present so the caller can check version continuity.
+  static Result<std::unique_ptr<JournalWriter>> Append(
+      const std::string& path, uint64_t expected_fingerprint);
+
+  /// Appends one batch and flushes. kIoError on write failure.
+  Status AppendBatch(const DeltaBatch& batch);
+
+  const JournalHeader& header() const { return header_; }
+  uint64_t num_records() const { return num_records_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  JournalWriter(std::string path, JournalHeader header, uint64_t num_records,
+                std::ofstream out)
+      : path_(std::move(path)),
+        header_(header),
+        num_records_(num_records),
+        out_(std::move(out)) {}
+
+  std::string path_;
+  JournalHeader header_;
+  uint64_t num_records_ = 0;
+  std::ofstream out_;
+};
+
+}  // namespace retrust::persist
+
+#endif  // RETRUST_PERSIST_JOURNAL_H_

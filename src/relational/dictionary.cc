@@ -22,6 +22,24 @@ int32_t Dictionary::Lookup(const Value& v) const {
   return it == index_.end() ? -1 : it->second;
 }
 
+Dictionary Dictionary::FromValues(std::vector<Value> values) {
+  Dictionary d;
+  d.values_ = std::move(values);
+  d.index_.reserve(d.values_.size());
+  for (size_t i = 0; i < d.values_.size(); ++i) {
+    if (d.values_[i].is_variable()) {
+      throw std::invalid_argument("dictionary values must be constants");
+    }
+    auto [it, inserted] =
+        d.index_.emplace(d.values_[i], static_cast<int32_t>(i));
+    if (!inserted) {
+      throw std::invalid_argument("duplicate dictionary value at code " +
+                                  std::to_string(i));
+    }
+  }
+  return d;
+}
+
 EncodedInstance::EncodedInstance(const Instance& inst)
     : schema_(inst.schema()), n_(inst.NumTuples()), m_(inst.NumAttrs()) {
   codes_.resize(static_cast<size_t>(n_) * m_);
@@ -71,6 +89,36 @@ void EncodedInstance::ApplyDelta(const DeltaBatch& delta,
       codes_[Flat(row, a)] = EncodeValue(t[a], a);
     }
   }
+}
+
+EncodedInstance EncodedInstance::Restore(Schema schema, int num_tuples,
+                                         std::vector<int32_t> codes,
+                                         std::vector<Dictionary> dicts,
+                                         std::vector<int32_t> next_var) {
+  const int m = schema.NumAttrs();
+  if (num_tuples < 0 ||
+      codes.size() != static_cast<size_t>(num_tuples) * m ||
+      dicts.size() != static_cast<size_t>(m) ||
+      next_var.size() != static_cast<size_t>(m)) {
+    throw std::invalid_argument("encoded-instance parts do not match shape");
+  }
+  for (size_t i = 0; i < codes.size(); ++i) {
+    const int32_t code = codes[i];
+    const AttrId a = static_cast<AttrId>(i % m);
+    if (IsVariableCode(code) ? VariableIndexOfCode(code) >= next_var[a]
+                             : code >= dicts[a].size()) {
+      throw std::invalid_argument("cell code out of range for attribute " +
+                                  std::to_string(a));
+    }
+  }
+  EncodedInstance out;
+  out.schema_ = std::move(schema);
+  out.n_ = num_tuples;
+  out.m_ = m;
+  out.codes_ = std::move(codes);
+  out.dicts_ = std::move(dicts);
+  out.next_var_ = std::move(next_var);
+  return out;
 }
 
 int32_t EncodedInstance::SetFreshVariable(TupleId t, AttrId a) {

@@ -34,6 +34,15 @@ class Dictionary {
   const Value& value(int32_t code) const { return values_[code]; }
   int32_t size() const { return static_cast<int32_t>(values_.size()); }
 
+  /// All interned constants in code order (code i is values()[i]) — the
+  /// serialization surface of src/persist/.
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Rebuilds a dictionary from a code-ordered constant list (the inverse
+  /// of values()); the lookup index is reconstructed. Throws
+  /// std::invalid_argument on duplicate or non-constant values.
+  static Dictionary FromValues(std::vector<Value> values);
+
  private:
   std::vector<Value> values_;
   std::unordered_map<Value, int32_t, ValueHash> index_;
@@ -76,6 +85,20 @@ class EncodedInstance {
 
   /// Returns a fresh variable code for attribute `a` without assigning it.
   int32_t NewVariableCode(AttrId a) { return VariableCode(next_var_[a]++); }
+
+  /// Raw serialization surface (src/persist/): the row-major cell codes
+  /// and the per-attribute fresh-variable counters.
+  const std::vector<int32_t>& codes() const { return codes_; }
+  const std::vector<int32_t>& next_var_counters() const { return next_var_; }
+
+  /// Rebuilds an encoded instance from its serialized parts (the inverse
+  /// of codes()/dictionary()/next_var_counters()). Throws
+  /// std::invalid_argument on shape mismatches (codes/dicts/counters not
+  /// matching the schema and cardinality).
+  static EncodedInstance Restore(Schema schema, int num_tuples,
+                                 std::vector<int32_t> codes,
+                                 std::vector<Dictionary> dicts,
+                                 std::vector<int32_t> next_var);
 
   /// Decodes one cell back to a Value.
   Value DecodeCell(TupleId t, AttrId a) const;

@@ -24,6 +24,21 @@ DeltaPEvaluator::DeltaPEvaluator(const FDSet& sigma,
   table_ = ViolationTable(sigma, index, pool.get());
 }
 
+DeltaPEvaluator::DeltaPEvaluator(const FDSet& sigma,
+                                 const DifferenceSetIndex& index,
+                                 int num_tuples, WarmState warm)
+    : table_(sigma, index, std::move(warm.table_rows)),
+      memo_(GroupEdgeLists(index), num_tuples) {
+  memo_.Preload(std::move(warm.covers));
+}
+
+DeltaPEvaluator::WarmState DeltaPEvaluator::ExportWarmState() const {
+  WarmState warm;
+  warm.table_rows = table_.fd_masks();
+  warm.covers = memo_.ExportEntries();
+  return warm;
+}
+
 DeltaPEvaluator::PatchStats DeltaPEvaluator::ApplyDelta(
     const FDSet& sigma, const DifferenceSetIndex& index, int num_tuples,
     const std::vector<int32_t>& old_to_new, exec::ThreadPool* pool) {

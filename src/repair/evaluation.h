@@ -38,6 +38,26 @@ class DeltaPEvaluator {
   DeltaPEvaluator(const FDSet& sigma, const DifferenceSetIndex& index,
                   int num_tuples, const exec::Options& eopts = {});
 
+  /// The evaluator's serialized caches (src/persist/): the violation
+  /// table's incidence rows plus the memo's cached covers.
+  struct WarmState {
+    std::vector<uint64_t> table_rows;
+    CoverMemo::SnapshotEntries covers;
+  };
+
+  /// Restores an evaluator from a snapshot's warm state: the table is
+  /// rebuilt from its saved incidence rows (no per-group recomputation)
+  /// and the cover memo is pre-seeded. Answers are bit-identical to a
+  /// freshly built evaluator — cached cover values are pure functions of
+  /// their keys. Throws std::invalid_argument when `warm.table_rows` does
+  /// not match the index.
+  DeltaPEvaluator(const FDSet& sigma, const DifferenceSetIndex& index,
+                  int num_tuples, WarmState warm);
+
+  /// Exports the warm state a snapshot saves (deterministic byte-for-byte
+  /// given the same cache contents).
+  WarmState ExportWarmState() const;
+
   /// What a delta did to the evaluator's caches.
   struct PatchStats {
     int table_groups_recomputed = 0;

@@ -25,6 +25,23 @@ FdSearchContext::FdSearchContext(const FDSet& sigma,
       heuristic_(sigma_, space_, weights_, index_, inst.NumTuples(), hopts,
                  evaluator_.get()) {}
 
+FdSearchContext::FdSearchContext(const FDSet& sigma,
+                                 const EncodedInstance& inst,
+                                 const WeightFunction& weights,
+                                 const HeuristicOptions& hopts,
+                                 DifferenceSetIndex index,
+                                 DeltaPEvaluator::WarmState warm)
+    : sigma_(sigma),
+      num_tuples_(inst.NumTuples()),
+      space_(sigma, inst.schema()),
+      index_(std::move(index)),
+      evaluator_(std::make_unique<DeltaPEvaluator>(sigma_, index_,
+                                                   inst.NumTuples(),
+                                                   std::move(warm))),
+      weights_(weights),
+      heuristic_(sigma_, space_, weights_, index_, inst.NumTuples(), hopts,
+                 evaluator_.get()) {}
+
 FdSearchContext::DeltaReport FdSearchContext::ApplyDelta(
     const EncodedInstance& inst, const std::vector<TupleId>& dirty,
     const std::vector<TupleId>& remap, const exec::Options& eopts) {

@@ -107,6 +107,17 @@ class FdSearchContext {
                   const HeuristicOptions& hopts = {},
                   const exec::Options& eopts = {});
 
+  /// Restore construction (src/persist/): adopts a pre-built difference-set
+  /// index and the evaluator's warm caches instead of paying the O(n²)
+  /// conflict-graph/difference-set build — the whole point of a snapshot.
+  /// `index` and `warm` must have been exported from a context over the
+  /// SAME (Σ, I); answers are then bit-identical to a fresh build at any
+  /// thread count. Throws std::invalid_argument on shape mismatches.
+  FdSearchContext(const FDSet& sigma, const EncodedInstance& inst,
+                  const WeightFunction& weights,
+                  const HeuristicOptions& hopts, DifferenceSetIndex index,
+                  DeltaPEvaluator::WarmState warm);
+
   /// Aggregate of what one delta did to this context's structures.
   struct DeltaReport {
     IndexPatch index;

@@ -23,7 +23,8 @@ Server::Server(ServerOptions opts)
                         ? std::make_unique<exec::ThreadPool>(
                               opts_.session_threads)
                         : nullptr),
-      tenants_(opts_.session_defaults, session_pool_.get()),
+      tenants_(opts_.session_defaults, session_pool_.get(),
+               opts_.snapshot_dir, opts_.max_loaded_tenant_bytes),
       admission_(AdmissionOptions(opts_)),
       queue_(&admission_),
       worker_pool_(std::make_unique<exec::ThreadPool>(
@@ -48,6 +49,13 @@ Status Server::LoadCsvTenant(const std::string& name, std::string csv_path,
                              std::optional<SessionOptions> opts) {
   return tenants_.AddCsv(name, std::move(csv_path), std::move(fd_texts),
                          std::move(opts));
+}
+
+Status Server::LoadSnapshotTenant(const std::string& name,
+                                  std::string snapshot_path,
+                                  std::optional<SessionOptions> opts) {
+  return tenants_.AddSnapshot(name, std::move(snapshot_path),
+                              std::move(opts));
 }
 
 void Server::Pause() { queue_.Pause(); }
@@ -356,6 +364,38 @@ Submitted<Result<ApplyStats>> Client::Apply(const std::string& tenant,
         return session.Apply(delta);
       },
       FailAsResult<ApplyStats>());
+}
+
+Submitted<Result<std::string>> Client::SaveSnapshot(const std::string& tenant,
+                                                    std::string path) {
+  // A WRITE so the lane barrier quiesces the tenant first: the file is a
+  // consistent cut between everything submitted before and after. The
+  // registry call (not a bare Session::SaveSnapshot) also records the
+  // snapshot as the tenant's reload spec.
+  return server_->Submit<Result<std::string>>(
+      tenant, /*is_write=*/true, /*deadline_seconds=*/0.0,
+      [server = server_, tenant, path = std::move(path)](
+          Session&, PendingRequest&) -> Result<std::string> {
+        Status saved = server->tenants_.SaveSnapshot(tenant, path);
+        if (!saved.ok()) return saved;
+        return path;
+      },
+      FailAsResult<std::string>());
+}
+
+Submitted<Result<bool>> Client::UnloadTenant(const std::string& tenant) {
+  // Also a WRITE: earlier requests drain first, later ones queue behind
+  // and trigger the transparent reload. tolerated_pins = 1 because the
+  // worker loop executing THIS verb holds the session it resolved.
+  return server_->Submit<Result<bool>>(
+      tenant, /*is_write=*/true, /*deadline_seconds=*/0.0,
+      [server = server_, tenant](Session&, PendingRequest&) -> Result<bool> {
+        Status unloaded = server->tenants_.Unload(tenant,
+                                                  /*tolerated_pins=*/1);
+        if (!unloaded.ok()) return unloaded;
+        return true;
+      },
+      FailAsResult<bool>());
 }
 
 bool Client::Cancel(uint64_t id) { return server_->Cancel(id); }

@@ -69,6 +69,14 @@ struct ServerOptions {
   bool start_paused = false;
   /// Defaults for tenants registered without explicit SessionOptions.
   SessionOptions session_defaults;
+  /// Tenant snapshot directory (empty = disabled): lets the registry
+  /// auto-save dirty tenants to "<dir>/<name>.snap" when unloading, so
+  /// unload_tenant and the byte budget work even after deltas.
+  std::string snapshot_dir;
+  /// Estimated-byte budget across loaded tenant Sessions (0 = unbounded):
+  /// after each lazy load the registry unloads least-recently-used idle
+  /// tenants until the budget fits (see TenantRegistry).
+  size_t max_loaded_tenant_bytes = 0;
 };
 
 /// A submitted request: its server-assigned id (usable with
@@ -115,6 +123,19 @@ class Client {
   Submitted<Result<ApplyStats>> Apply(const std::string& tenant,
                                       DeltaBatch delta);
 
+  /// Saves the tenant's state to `path` (src/persist/ snapshot) as a
+  /// queued WRITE: the per-tenant barrier means the file is a consistent
+  /// cut — everything submitted before it is included, nothing after.
+  /// The snapshot becomes the tenant's reload spec. Replies with the path.
+  Submitted<Result<std::string>> SaveSnapshot(const std::string& tenant,
+                                              std::string path);
+
+  /// Unloads the tenant's Session (memory reclaimed; the next request
+  /// reloads from its spec) as a queued WRITE, so it waits for the
+  /// tenant's earlier requests. kInvalidArgument when the tenant's state
+  /// cannot be reproduced from its spec and no snapshot_dir is set.
+  Submitted<Result<bool>> UnloadTenant(const std::string& tenant);
+
   /// Cancels a live request: queued -> completed with kCancelled without
   /// touching any Session; executing -> cooperative CancelToken. False
   /// when the id is unknown or already finished.
@@ -141,6 +162,11 @@ class Server {
   Status LoadCsvTenant(const std::string& name, std::string csv_path,
                        std::vector<std::string> fd_texts,
                        std::optional<SessionOptions> opts = std::nullopt);
+  /// Lazy snapshot-backed tenant: the first request restores the file via
+  /// Session::OpenSnapshot (warm caches included, no O(n²) build).
+  Status LoadSnapshotTenant(const std::string& name,
+                            std::string snapshot_path,
+                            std::optional<SessionOptions> opts = std::nullopt);
 
   Client client() { return Client(this); }
   TenantRegistry& tenants() { return tenants_; }

@@ -16,6 +16,11 @@
 //    "updates":[[12,"City","Springfield"]],
 //    "deletes":[3,9]}                            Session::Apply
 //   {"op":"stats"} / {"op":"stats","tenant":"hosp"}
+//   {"op":"load_snapshot_tenant","tenant":"hosp",
+//    "snapshot":"hosp.snap"}                      lazy snapshot restore
+//   {"op":"save_snapshot","tenant":"hosp",
+//    "path":"hosp.snap"}                          consistent-cut snapshot
+//   {"op":"unload_tenant","tenant":"hosp"}        release session memory
 //   {"op":"shutdown"}
 //
 // Optional repair fields: "mode" ("astar"|"best_first"), "seed",

@@ -2,12 +2,21 @@
 //
 //   retrust_server [--port N] [--workers W] [--queue-depth D]
 //                  [--tenant-cap C] [--session-threads S]
+//                  [--snapshot-dir DIR] [--max-tenant-bytes B]
 //                  [--tenant NAME=FILE.csv:FD[;FD...]]...
+//                  [--tenant-snapshot NAME=FILE.snap]...
 //
 // Listens on 127.0.0.1:<port> (default 7423; 0 picks an ephemeral port)
 // and speaks newline-delimited JSON: one request object per line, one
 // response per line (wire format in src/service/wire.h — verbs:
-// load_tenant, repair, sweep, apply_delta, stats, shutdown). Prints
+// load_tenant, load_snapshot_tenant, repair, sweep, apply_delta,
+// save_snapshot, unload_tenant, stats, shutdown).
+//
+// Warm restart: `--tenant-snapshot` registers a tenant whose first
+// request restores a src/persist/ snapshot instead of rebuilding from
+// CSV; `--snapshot-dir` lets unload_tenant (and the `--max-tenant-bytes`
+// budget eviction) auto-save dirty tenants to "<dir>/<name>.snap" before
+// releasing their memory. Prints
 //
 //   retrust_server listening on 127.0.0.1:<port>
 //
@@ -213,6 +222,56 @@ std::string HandleLine(Server& server, const std::string& line,
     return with_id(reply);
   }
 
+  if (verb == "load_snapshot_tenant") {
+    const Json* snapshot = req.Get("snapshot");
+    std::string tenant = tenant_of();
+    if (tenant.empty() || snapshot == nullptr || !snapshot->is_string()) {
+      return with_id(ErrorJson(Status::Error(
+          StatusCode::kInvalidArgument,
+          "load_snapshot_tenant needs 'tenant' and 'snapshot'")));
+    }
+    Status status = server.LoadSnapshotTenant(tenant, snapshot->AsString());
+    if (!status.ok()) return with_id(ErrorJson(status));
+    Json::Object obj;
+    obj["ok"] = Json(true);
+    obj["tenant"] = Json(tenant);
+    return with_id(Json(std::move(obj)));
+  }
+
+  if (verb == "save_snapshot") {
+    const Json* path = req.Get("path");
+    std::string tenant = tenant_of();
+    if (tenant.empty() || path == nullptr || !path->is_string()) {
+      return with_id(ErrorJson(Status::Error(
+          StatusCode::kInvalidArgument,
+          "save_snapshot needs 'tenant' and 'path'")));
+    }
+    auto submitted = client.SaveSnapshot(tenant, path->AsString());
+    Result<std::string> saved = submitted.future.get();
+    if (!saved.ok()) return with_id(ErrorJson(saved.status()));
+    Json::Object obj;
+    obj["ok"] = Json(true);
+    obj["tenant"] = Json(tenant);
+    obj["path"] = Json(*saved);
+    return with_id(Json(std::move(obj)));
+  }
+
+  if (verb == "unload_tenant") {
+    std::string tenant = tenant_of();
+    if (tenant.empty()) {
+      return with_id(ErrorJson(Status::Error(
+          StatusCode::kInvalidArgument, "unload_tenant needs 'tenant'")));
+    }
+    auto submitted = client.UnloadTenant(tenant);
+    Result<bool> unloaded = submitted.future.get();
+    if (!unloaded.ok()) return with_id(ErrorJson(unloaded.status()));
+    Json::Object obj;
+    obj["ok"] = Json(true);
+    obj["tenant"] = Json(tenant);
+    obj["unloaded"] = Json(true);
+    return with_id(Json(std::move(obj)));
+  }
+
   if (verb == "shutdown") {
     *request_shutdown = true;
     Json::Object obj;
@@ -268,6 +327,7 @@ int main(int argc, char** argv) {
   opts.workers = 2;
   opts.queue_capacity = 1024;
   std::vector<std::string> tenant_specs;
+  std::vector<std::string> snapshot_specs;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -294,10 +354,22 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) { std::fprintf(stderr, "--session-threads needs a value\n"); return 2; }
       opts.session_threads = std::atoi(v);
+    } else if (arg == "--snapshot-dir") {
+      const char* v = next();
+      if (v == nullptr) { std::fprintf(stderr, "--snapshot-dir needs a value\n"); return 2; }
+      opts.snapshot_dir = v;
+    } else if (arg == "--max-tenant-bytes") {
+      const char* v = next();
+      if (v == nullptr) { std::fprintf(stderr, "--max-tenant-bytes needs a value\n"); return 2; }
+      opts.max_loaded_tenant_bytes = static_cast<size_t>(std::atoll(v));
     } else if (arg == "--tenant") {
       const char* v = next();
       if (v == nullptr) { std::fprintf(stderr, "--tenant needs NAME=FILE.csv:FD[;FD]\n"); return 2; }
       tenant_specs.emplace_back(v);
+    } else if (arg == "--tenant-snapshot") {
+      const char* v = next();
+      if (v == nullptr) { std::fprintf(stderr, "--tenant-snapshot needs NAME=FILE.snap\n"); return 2; }
+      snapshot_specs.emplace_back(v);
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return 2;
@@ -315,6 +387,21 @@ int main(int argc, char** argv) {
       return 2;
     }
     Status status = server.LoadCsvTenant(name, path, fds);
+    if (!status.ok()) {
+      std::fprintf(stderr, "tenant '%s': %s\n", name.c_str(),
+                   status.ToString().c_str());
+      return 2;
+    }
+  }
+
+  for (const std::string& spec : snapshot_specs) {
+    size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+      std::fprintf(stderr, "bad --tenant-snapshot spec '%s'\n", spec.c_str());
+      return 2;
+    }
+    std::string name = spec.substr(0, eq);
+    Status status = server.LoadSnapshotTenant(name, spec.substr(eq + 1));
     if (!status.ok()) {
       std::fprintf(stderr, "tenant '%s': %s\n", name.c_str(),
                    status.ToString().c_str());
