@@ -36,7 +36,7 @@ uint64_t Fingerprint(const FDSet& sigma, const SessionOptions& opts) {
 int64_t IndexEdges(const FdSearchContext& ctx) {
   int64_t edges = 0;
   for (const DiffSetGroup& g : ctx.index().groups()) {
-    edges += static_cast<int64_t>(g.edges.size());
+    edges += g.frequency();  // counted groups weigh their logical pairs
   }
   return edges;
 }

@@ -1,17 +1,84 @@
 #include "src/fd/difference_set.h"
 
 #include <algorithm>
+#include <chrono>
 #include <iterator>
-#include <unordered_map>
+#include <stdexcept>
 
 #include "src/exec/parallel_for.h"
+#include "src/fd/partition.h"
 
 namespace retrust {
 
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The canonical group order: descending logical frequency, ties broken by
+/// the smaller attribute mask. Shared by every builder and by ApplyDelta.
+void RankGroups(std::vector<DiffSetGroup>* groups) {
+  std::sort(groups->begin(), groups->end(),
+            [](const DiffSetGroup& a, const DiffSetGroup& b) {
+              if (a.frequency() != b.frequency()) {
+                return a.frequency() > b.frequency();
+              }
+              return a.diff < b.diff;
+            });
+}
+
+/// Groups (edge, diff) records — already in canonical ascending edge
+/// order — into DiffSetGroups, preserving that order inside each group.
+/// Pre-sizes the map and each group's edge vector (one counting pass) so
+/// the serial phase never rehashes or reallocates on large inputs.
+std::vector<DiffSetGroup> GroupEdges(
+    const std::vector<std::pair<Edge, AttrSet>>& records) {
+  std::unordered_map<AttrSet, int64_t, AttrSetHash> freq;
+  freq.reserve(64);
+  for (const auto& [edge, diff] : records) ++freq[diff];
+
+  std::vector<DiffSetGroup> groups;
+  groups.reserve(freq.size());
+  std::unordered_map<AttrSet, int, AttrSetHash> index;
+  index.reserve(freq.size());
+  for (const auto& [edge, diff] : records) {
+    auto [it, inserted] = index.emplace(diff, static_cast<int>(groups.size()));
+    if (inserted) {
+      groups.push_back({diff, {}, 0});
+      groups.back().edges.reserve(static_cast<size_t>(freq[diff]));
+    }
+    groups[it->second].edges.push_back(edge);
+  }
+  return groups;
+}
+
+}  // namespace
+
 AttrSet DiffSetOfPair(const EncodedInstance& inst, TupleId t1, TupleId t2) {
+  const int m = inst.NumAttrs();
+  const AttrSet universe = AttrSet::Universe(m);
   AttrSet diff;
-  for (AttrId a = 0; a < inst.NumAttrs(); ++a) {
-    if (inst.At(t1, a) != inst.At(t2, a)) diff.Add(a);
+  for (AttrId a = 0; a < m; ++a) {
+    if (inst.At(t1, a) != inst.At(t2, a)) {
+      diff.Add(a);
+      if (diff == universe) break;
+    }
+  }
+  return diff;
+}
+
+AttrSet DiffSetOfPair(const int32_t* const* cols, int num_attrs, TupleId t1,
+                      TupleId t2) {
+  const AttrSet universe = AttrSet::Universe(num_attrs);
+  AttrSet diff;
+  for (AttrId a = 0; a < num_attrs; ++a) {
+    if (cols[a][t1] != cols[a][t2]) {
+      diff.Add(a);
+      if (diff == universe) break;
+    }
   }
   return diff;
 }
@@ -37,21 +104,107 @@ DifferenceSetIndex::DifferenceSetIndex(const EncodedInstance& inst,
 
   // Serial grouping in the graph's canonical edge order: group creation
   // order and each group's internal edge order match the serial build
-  // exactly.
+  // exactly. Pre-sized (satellite): one counting pass reserves the map
+  // and every group's edge vector up front.
+  std::unordered_map<AttrSet, int64_t, AttrSetHash> freq;
+  freq.reserve(64);
+  for (const AttrSet diff : diffs) ++freq[diff];
   std::unordered_map<AttrSet, int, AttrSetHash> index;
+  index.reserve(freq.size());
+  groups_.reserve(freq.size());
   for (size_t i = 0; i < edges.size(); ++i) {
     auto [it, inserted] =
         index.emplace(diffs[i], static_cast<int>(groups_.size()));
-    if (inserted) groups_.push_back({diffs[i], {}});
+    if (inserted) {
+      groups_.push_back({diffs[i], {}, 0});
+      groups_.back().edges.reserve(static_cast<size_t>(freq[diffs[i]]));
+    }
     groups_[it->second].edges.push_back(edges[i]);
   }
-  std::sort(groups_.begin(), groups_.end(),
-            [](const DiffSetGroup& a, const DiffSetGroup& b) {
-              if (a.edges.size() != b.edges.size()) {
-                return a.edges.size() > b.edges.size();
-              }
-              return a.diff < b.diff;
-            });
+  CanonicalizeCountedGroups(inst.NumAttrs());
+  RankGroups(&groups_);
+  if (HasCountedGroups()) lazy_ = std::make_unique<LazyEdges>();
+}
+
+DifferenceSetIndex::DifferenceSetIndex(std::vector<DiffSetGroup> groups)
+    : groups_(std::move(groups)) {
+  if (HasCountedGroups()) lazy_ = std::make_unique<LazyEdges>();
+}
+
+DifferenceSetIndex::DifferenceSetIndex(const DifferenceSetIndex& o)
+    : groups_(o.groups_), bound_(o.bound_) {
+  // The lazy cache is derived state; a copy starts cold.
+  if (HasCountedGroups()) lazy_ = std::make_unique<LazyEdges>();
+}
+
+DifferenceSetIndex& DifferenceSetIndex::operator=(
+    const DifferenceSetIndex& o) {
+  if (this == &o) return *this;
+  groups_ = o.groups_;
+  bound_ = o.bound_;
+  lazy_ = HasCountedGroups() ? std::make_unique<LazyEdges>() : nullptr;
+  return *this;
+}
+
+void DifferenceSetIndex::CanonicalizeCountedGroups(int num_attrs) {
+  // The full-disagreement group (diff = every attribute) is stored in
+  // counted form so the naive and blocked builders emit identical indexes:
+  // its pairs only ever become conflict edges under a degenerate empty-LHS
+  // FD, and even then δP and the heuristic need only the count.
+  const AttrSet universe = AttrSet::Universe(num_attrs);
+  if (universe.Empty()) return;
+  for (DiffSetGroup& g : groups_) {
+    if (g.diff == universe && !g.edges.empty()) {
+      g.counted += static_cast<int64_t>(g.edges.size());
+      g.edges.clear();
+      g.edges.shrink_to_fit();
+    }
+  }
+}
+
+bool DifferenceSetIndex::HasCountedGroups() const {
+  for (const DiffSetGroup& g : groups_) {
+    if (g.counted > 0) return true;
+  }
+  return false;
+}
+
+const std::vector<Edge>& DifferenceSetIndex::EdgesForCover(int g) const {
+  const DiffSetGroup& grp = groups_[g];
+  if (grp.counted == 0) return grp.edges;
+  if (bound_ == nullptr) {
+    throw std::logic_error(
+        "counted difference-set group touched before BindInstance");
+  }
+  std::lock_guard<std::mutex> lock(lazy_->mu);
+  auto it = lazy_->by_group.find(g);
+  if (it != lazy_->by_group.end()) return it->second;
+
+  // Materialize the full-disagreement pairs in ascending (u, v) order —
+  // the exact order the naive build would have stored them in.
+  const int n = bound_->NumTuples();
+  const int m = bound_->NumAttrs();
+  std::vector<const int32_t*> cols(m);
+  for (AttrId a = 0; a < m; ++a) cols[a] = bound_->ColumnData(a);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(grp.counted));
+  for (TupleId u = 0; u < n; ++u) {
+    for (TupleId v = u + 1; v < n; ++v) {
+      bool all_differ = true;
+      for (AttrId a = 0; a < m; ++a) {
+        if (cols[a][u] == cols[a][v]) {
+          all_differ = false;
+          break;
+        }
+      }
+      if (all_differ) edges.emplace_back(u, v);
+    }
+  }
+  if (static_cast<int64_t>(edges.size()) != grp.counted) {
+    throw std::logic_error(
+        "counted group does not match the bound instance (stale bind?)");
+  }
+  return lazy_->by_group.emplace(g, std::move(edges)).first->second;
 }
 
 IndexPatch DifferenceSetIndex::ApplyDelta(const EncodedInstance& inst,
@@ -59,6 +212,11 @@ IndexPatch DifferenceSetIndex::ApplyDelta(const EncodedInstance& inst,
                                           const std::vector<TupleId>& dirty,
                                           const std::vector<TupleId>& remap,
                                           exec::ThreadPool* pool) {
+  if (HasCountedGroups()) {
+    throw std::logic_error(
+        "DifferenceSetIndex::ApplyDelta cannot patch counted groups; "
+        "rebuild with the blocked builder (FdSearchContext does)");
+  }
   IndexPatch patch;
   const int new_n = inst.NumTuples();
   std::vector<char> is_dirty(new_n, 0);
@@ -96,6 +254,9 @@ IndexPatch DifferenceSetIndex::ApplyDelta(const EncodedInstance& inst,
   // dirty endpoint, each unordered pair examined exactly once. Sharded
   // over the relation; the canonical sort below erases chunk boundaries,
   // so the result is identical for any thread count.
+  const int m = inst.NumAttrs();
+  std::vector<const int32_t*> cols(m);
+  for (AttrId a = 0; a < m; ++a) cols[a] = inst.ColumnData(a);
   std::vector<std::pair<Edge, AttrSet>> found;
   {
     exec::ChunkPlan chunks = exec::PlanChunks(new_n, pool);
@@ -108,7 +269,7 @@ IndexPatch DifferenceSetIndex::ApplyDelta(const EncodedInstance& inst,
                           for (TupleId t : dirty) {
                             if (is_dirty[s] && s >= t) continue;
                             AttrSet diff = DiffSetOfPair(
-                                inst, t, static_cast<TupleId>(s));
+                                cols.data(), m, t, static_cast<TupleId>(s));
                             if (DiffSetViolates(diff, sigma)) {
                               out.emplace_back(
                                   Edge(t, static_cast<TupleId>(s)), diff);
@@ -168,7 +329,7 @@ IndexPatch DifferenceSetIndex::ApplyDelta(const EncodedInstance& inst,
       patch.old_to_new[work[i].old_id] = static_cast<int32_t>(i);
       ++patch.groups_preserved;
     }
-    groups_.push_back({work[i].diff, std::move(work[i].edges)});
+    groups_.push_back({work[i].diff, std::move(work[i].edges), 0});
   }
   patch.groups_changed = static_cast<int>(groups_.size()) -
                          patch.groups_preserved;
@@ -187,17 +348,232 @@ std::string DifferenceSetIndex::ToString(const Schema& schema) const {
   std::string out;
   for (const DiffSetGroup& g : groups_) {
     out += g.diff.ToString(schema.Names());
-    out += " x" + std::to_string(g.edges.size()) + "\n";
+    out += " x" + std::to_string(g.frequency());
+    if (g.counted > 0) out += " (counted)";
+    out += "\n";
   }
   return out;
 }
 
+DifferenceSetIndex BuildDifferenceSetIndexBlocked(const EncodedInstance& inst,
+                                                  const FDSet& sigma,
+                                                  exec::ThreadPool* pool,
+                                                  DiffSetBuildStats* stats) {
+  if (sigma.size() > 64) {
+    throw std::invalid_argument("conflict graph supports at most 64 FDs");
+  }
+  const auto t_start = std::chrono::steady_clock::now();
+  const int n = inst.NumTuples();
+  const int m = inst.NumAttrs();
+  std::vector<const int32_t*> cols(m);
+  for (AttrId a = 0; a < m; ++a) cols[a] = inst.ColumnData(a);
+
+  // Phase 1 — blocking structure: one partition per attribute, stripped to
+  // classes of >= 2 tuples. Work units are (attribute, class) spans in a
+  // flat deterministic order: attributes ascending, classes in label
+  // (first-occurrence) order, members ascending.
+  struct Unit {
+    AttrId attr;
+    int32_t begin;  ///< span into members[attr]
+    int32_t end;
+  };
+  std::vector<std::vector<TupleId>> members(m);
+  std::vector<Unit> units;
+  for (AttrId a = 0; a < m; ++a) {
+    std::vector<std::vector<TupleId>> classes =
+        PartitionBy(inst, AttrSet::Single(a)).StrippedClasses();
+    size_t total = 0;
+    for (const auto& c : classes) total += c.size();
+    members[a].reserve(total);
+    for (const auto& c : classes) {
+      units.push_back({a, static_cast<int32_t>(members[a].size()),
+                       static_cast<int32_t>(members[a].size() + c.size())});
+      members[a].insert(members[a].end(), c.begin(), c.end());
+    }
+  }
+  const double partition_seconds = SecondsSince(t_start);
+
+  // Phase 2 — in-class pair enumeration, sharded over units. A pair inside
+  // attribute a's class is OWNED by a iff the two tuples disagree on every
+  // attribute before a (the first-agreeing-attribute rule): each pair that
+  // agrees somewhere is emitted by exactly one unit, so the concatenated
+  // chunk buffers hold globally distinct edges and one canonical sort makes
+  // the order thread-count independent.
+  const auto t_enumerate = std::chrono::steady_clock::now();
+  struct ChunkOut {
+    std::vector<std::pair<Edge, AttrSet>> records;
+    int64_t candidate = 0;
+    int64_t owned = 0;
+  };
+  exec::ChunkPlan plan =
+      exec::PlanChunks(static_cast<int64_t>(units.size()), pool);
+  std::vector<ChunkOut> per_chunk(
+      static_cast<size_t>(std::max(plan.num_chunks, 1)));
+  exec::ParallelFor(
+      pool, plan, [&](int64_t begin, int64_t end, int chunk) {
+        ChunkOut& out = per_chunk[chunk];
+        for (int64_t ui = begin; ui < end; ++ui) {
+          const Unit& unit = units[ui];
+          const AttrId a = unit.attr;
+          const TupleId* cls = members[a].data();
+          for (int32_t i = unit.begin; i < unit.end; ++i) {
+            const TupleId u = cls[i];
+            for (int32_t j = i + 1; j < unit.end; ++j) {
+              const TupleId v = cls[j];
+              ++out.candidate;
+              bool owned = true;
+              for (AttrId b = 0; b < a; ++b) {
+                if (cols[b][u] == cols[b][v]) {
+                  owned = false;
+                  break;
+                }
+              }
+              if (!owned) continue;
+              ++out.owned;
+              // Ownership already proved every attribute before a differs
+              // (and a itself agrees), so only the tail needs comparing.
+              AttrSet diff = AttrSet::Universe(a);
+              for (AttrId b = a + 1; b < m; ++b) {
+                if (cols[b][u] != cols[b][v]) diff.Add(b);
+              }
+              if (DiffSetViolates(diff, sigma)) {
+                out.records.emplace_back(Edge(u, v), diff);
+              }
+            }
+          }
+        }
+      });
+  std::vector<std::pair<Edge, AttrSet>> records;
+  int64_t candidate = 0, owned = 0;
+  {
+    size_t total = 0;
+    for (const ChunkOut& c : per_chunk) total += c.records.size();
+    records.reserve(total);
+    for (ChunkOut& c : per_chunk) {
+      records.insert(records.end(), c.records.begin(), c.records.end());
+      candidate += c.candidate;
+      owned += c.owned;
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const double enumerate_seconds = SecondsSince(t_enumerate);
+
+  // Phase 3 — group in canonical edge order, attach the counted
+  // full-disagreement group, and rank. Every pair NOT owned by some
+  // attribute disagrees everywhere; those k pairs share diff = universe
+  // and enter the index only when a (degenerate, empty-LHS) FD makes the
+  // universe diff violating at all.
+  const auto t_group = std::chrono::steady_clock::now();
+  std::vector<DiffSetGroup> groups = GroupEdges(records);
+  const int64_t total_pairs = static_cast<int64_t>(n) * (n - 1) / 2;
+  const int64_t full_disagreement = total_pairs - owned;
+  const AttrSet universe = AttrSet::Universe(m);
+  if (full_disagreement > 0 && DiffSetViolates(universe, sigma)) {
+    groups.push_back({universe, {}, full_disagreement});
+  }
+  RankGroups(&groups);
+  DifferenceSetIndex index(std::move(groups));
+  const double group_seconds = SecondsSince(t_group);
+
+  if (stats != nullptr) {
+    stats->pairs_candidate = candidate;
+    stats->pairs_owned = owned;
+    stats->pairs_materialized = static_cast<int64_t>(records.size());
+    stats->pairs_counted = full_disagreement;
+    stats->partition_seconds = partition_seconds;
+    stats->enumerate_seconds = enumerate_seconds;
+    stats->group_seconds = group_seconds;
+    stats->total_seconds = SecondsSince(t_start);
+  }
+  return index;
+}
+
 DifferenceSetIndex BuildDifferenceSetIndex(const EncodedInstance& inst,
                                            const FDSet& sigma,
-                                           const exec::Options& eopts) {
+                                           const exec::Options& eopts,
+                                           DiffSetBuildMode mode,
+                                           DiffSetBuildStats* stats) {
   std::unique_ptr<exec::ThreadPool> pool = exec::MakePool(eopts);
-  return DifferenceSetIndex(inst, BuildConflictGraph(inst, sigma, pool.get()),
-                            pool.get());
+  if (mode == DiffSetBuildMode::kBlocked) {
+    return BuildDifferenceSetIndexBlocked(inst, sigma, pool.get(), stats);
+  }
+
+  // kNaive: the quadratic oracle — a direct scan over all C(n,2) tuple
+  // pairs, each difference set computed from the columns. Deliberately free
+  // of the blocking machinery (partitions, ownership) so the blocked
+  // builder has an independent witness and the scaling bench an honest
+  // baseline; shares the grouping/ranking conventions of phase 3 so the two
+  // builders emit bit-identical indexes.
+  if (sigma.size() > 64) {
+    throw std::invalid_argument("conflict graph supports at most 64 FDs");
+  }
+  const auto t_start = std::chrono::steady_clock::now();
+  const int n = inst.NumTuples();
+  const int m = inst.NumAttrs();
+  std::vector<const int32_t*> cols(m);
+  for (AttrId a = 0; a < m; ++a) cols[a] = inst.ColumnData(a);
+  const AttrSet universe = AttrSet::Universe(m);
+
+  struct ChunkOut {
+    std::vector<std::pair<Edge, AttrSet>> records;
+    int64_t full = 0;  ///< disagree-everywhere pairs (counted, never stored)
+  };
+  exec::ChunkPlan plan = exec::PlanChunks(n, pool.get());
+  std::vector<ChunkOut> per_chunk(
+      static_cast<size_t>(std::max(plan.num_chunks, 1)));
+  exec::ParallelFor(
+      pool.get(), plan, [&](int64_t begin, int64_t end, int chunk) {
+    ChunkOut& out = per_chunk[chunk];
+    for (TupleId u = static_cast<TupleId>(begin);
+         u < static_cast<TupleId>(end); ++u) {
+      for (TupleId v = u + 1; v < n; ++v) {
+        AttrSet diff = DiffSetOfPair(cols.data(), m, u, v);
+        if (diff == universe) {
+          ++out.full;
+          continue;
+        }
+        if (DiffSetViolates(diff, sigma)) {
+          out.records.emplace_back(Edge(u, v), diff);
+        }
+      }
+    }
+  });
+  // Chunks are contiguous u-ranges and each inner loop ascends, so plain
+  // chunk-order concatenation is already the canonical ascending edge order.
+  std::vector<std::pair<Edge, AttrSet>> records;
+  int64_t full_disagreement = 0;
+  {
+    size_t total = 0;
+    for (const ChunkOut& c : per_chunk) total += c.records.size();
+    records.reserve(total);
+    for (ChunkOut& c : per_chunk) {
+      records.insert(records.end(), c.records.begin(), c.records.end());
+      full_disagreement += c.full;
+    }
+  }
+  const double enumerate_seconds = SecondsSince(t_start);
+
+  const auto t_group = std::chrono::steady_clock::now();
+  std::vector<DiffSetGroup> groups = GroupEdges(records);
+  if (full_disagreement > 0 && DiffSetViolates(universe, sigma)) {
+    groups.push_back({universe, {}, full_disagreement});
+  }
+  RankGroups(&groups);
+  DifferenceSetIndex index(std::move(groups));
+  const double group_seconds = SecondsSince(t_group);
+
+  if (stats != nullptr) {
+    *stats = DiffSetBuildStats{};
+    stats->pairs_candidate = static_cast<int64_t>(n) * (n - 1) / 2;
+    stats->pairs_owned = stats->pairs_candidate - full_disagreement;
+    stats->pairs_materialized = static_cast<int64_t>(records.size());
+    stats->pairs_counted = full_disagreement;
+    stats->enumerate_seconds = enumerate_seconds;
+    stats->group_seconds = group_seconds;
+    stats->total_seconds = SecondsSince(t_start);
+  }
+  return index;
 }
 
 bool DiffSetViolates(AttrSet diff, const FDSet& fds) {

@@ -22,21 +22,30 @@ Partition PartitionBy(const EncodedInstance& inst, AttrSet attrs) {
   Partition p;
   int n = inst.NumTuples();
   p.labels.resize(n);
-  std::vector<AttrId> cols = attrs.ToVector();
-  if (cols.empty()) {
+  if (attrs.Empty()) {
     // Single class.
     std::fill(p.labels.begin(), p.labels.end(), 0);
     p.num_classes = n > 0 ? 1 : 0;
     return p;
   }
-  std::unordered_map<std::vector<int32_t>, int32_t, CodeVectorHash> index;
-  index.reserve(static_cast<size_t>(n));
-  std::vector<int32_t> key(cols.size());
-  for (TupleId t = 0; t < n; ++t) {
-    for (size_t i = 0; i < cols.size(); ++i) key[i] = inst.At(t, cols[i]);
-    auto [it, inserted] = index.emplace(key, p.num_classes);
-    if (inserted) ++p.num_classes;
-    p.labels[t] = it->second;
+  // First attribute: dense labels straight off one contiguous column.
+  // Labels are assigned in first-occurrence order, and every Refine pass
+  // below also assigns in first-occurrence scan order, so the final labels
+  // are identical to hashing the full key vector per tuple — at a fraction
+  // of the hashing cost (one int32 per cell, streamed per column).
+  auto it = attrs.begin();
+  {
+    const int32_t* col = inst.ColumnData(*it);
+    std::unordered_map<int32_t, int32_t> index;
+    index.reserve(static_cast<size_t>(n));
+    for (TupleId t = 0; t < n; ++t) {
+      auto [slot, inserted] = index.emplace(col[t], p.num_classes);
+      if (inserted) ++p.num_classes;
+      p.labels[t] = slot->second;
+    }
+  }
+  for (++it; it != attrs.end(); ++it) {
+    p = Refine(inst, p, *it);
   }
   return p;
 }
@@ -46,12 +55,13 @@ Partition Refine(const EncodedInstance& inst, const Partition& base,
   Partition p;
   int n = inst.NumTuples();
   p.labels.resize(n);
+  const int32_t* col = inst.ColumnData(a);
   // Key: (base label, code of a) -> new dense label.
   std::unordered_map<uint64_t, int32_t> index;
   index.reserve(static_cast<size_t>(n));
   for (TupleId t = 0; t < n; ++t) {
     uint64_t key = (static_cast<uint64_t>(base.labels[t]) << 32) |
-                   static_cast<uint32_t>(inst.At(t, a));
+                   static_cast<uint32_t>(col[t]);
     auto [it, inserted] = index.emplace(Mix64(key), p.num_classes);
     if (inserted) ++p.num_classes;
     p.labels[t] = it->second;

@@ -5,34 +5,56 @@
 #include <unordered_set>
 
 #include "src/exec/parallel_for.h"
-#include "src/util/hash.h"
+#include "src/fd/partition.h"
 
 namespace retrust {
 namespace {
 
-// Groups tuple ids by their LHS projection codes.
-std::unordered_map<std::vector<int32_t>, std::vector<TupleId>, CodeVectorHash>
-PartitionByLhs(const EncodedInstance& inst, const FD& fd) {
-  std::vector<AttrId> cols = fd.lhs.ToVector();
-  std::unordered_map<std::vector<int32_t>, std::vector<TupleId>,
-                     CodeVectorHash>
-      parts;
-  parts.reserve(static_cast<size_t>(inst.NumTuples()));
-  std::vector<int32_t> key(cols.size());
-  for (TupleId t = 0; t < inst.NumTuples(); ++t) {
-    for (size_t i = 0; i < cols.size(); ++i) key[i] = inst.At(t, cols[i]);
-    parts[key].push_back(t);
+// CSR view of one partition's classes of size >= 2, in label order (labels
+// are assigned in first-occurrence order, so class k's smallest tuple id is
+// ascending in k — a deterministic work-unit order for the sharded phase).
+// `members` holds each class's tuple ids ascending, classes back to back.
+struct StrippedCsr {
+  std::vector<TupleId> members;
+  std::vector<int32_t> offsets;  ///< offsets[i]..offsets[i+1) in members
+
+  int num_classes() const { return static_cast<int>(offsets.size()) - 1; }
+};
+
+StrippedCsr StripClasses(const Partition& p) {
+  const int n = static_cast<int>(p.labels.size());
+  std::vector<int32_t> counts(p.num_classes, 0);
+  for (int32_t label : p.labels) ++counts[label];
+
+  // Dense class ids for the classes that survive the >= 2 filter.
+  std::vector<int32_t> slot(p.num_classes, -1);
+  StrippedCsr csr;
+  csr.offsets.push_back(0);
+  int32_t total = 0;
+  for (int32_t label = 0; label < p.num_classes; ++label) {
+    if (counts[label] < 2) continue;
+    slot[label] = csr.num_classes();
+    total += counts[label];
+    csr.offsets.push_back(total);
   }
-  return parts;
+  csr.members.resize(total);
+  std::vector<int32_t> fill(csr.num_classes(), 0);
+  for (TupleId t = 0; t < n; ++t) {
+    const int32_t s = slot[p.labels[t]];
+    if (s < 0) continue;
+    csr.members[csr.offsets[s] + fill[s]++] = t;
+  }
+  return csr;
 }
 
 // Emits all violating pairs of one LHS class: sub-partition on the RHS
 // code, then all cross-group pairs.
-void EmitClassPairs(const EncodedInstance& inst, const FD& fd,
-                    const std::vector<TupleId>& tuples,
+void EmitClassPairs(const int32_t* rhs_col, const TupleId* tuples, int count,
                     std::vector<Edge>* out) {
   std::unordered_map<int32_t, std::vector<TupleId>> groups;
-  for (TupleId t : tuples) groups[inst.At(t, fd.rhs)].push_back(t);
+  for (int i = 0; i < count; ++i) {
+    groups[rhs_col[tuples[i]]].push_back(tuples[i]);
+  }
   if (groups.size() < 2) return;
   for (auto it = groups.begin(); it != groups.end(); ++it) {
     auto jt = it;
@@ -48,12 +70,19 @@ void EmitClassPairs(const EncodedInstance& inst, const FD& fd,
 
 bool Satisfies(const EncodedInstance& inst, const FD& fd) {
   if (fd.IsTrivial()) return true;
-  auto parts = PartitionByLhs(inst, fd);
-  for (const auto& [key, tuples] : parts) {
-    if (tuples.size() < 2) continue;
-    int32_t rhs = inst.At(tuples[0], fd.rhs);
-    for (size_t i = 1; i < tuples.size(); ++i) {
-      if (inst.At(tuples[i], fd.rhs) != rhs) return false;
+  Partition p = PartitionBy(inst, fd.lhs);
+  const int32_t* rhs_col = inst.ColumnData(fd.rhs);
+  // X -> A holds iff every X-class sees a single RHS code: one streaming
+  // pass recording the first code per class.
+  std::vector<int32_t> first(p.num_classes);
+  std::vector<char> seen(p.num_classes, 0);
+  for (TupleId t = 0; t < inst.NumTuples(); ++t) {
+    const int32_t label = p.labels[t];
+    if (!seen[label]) {
+      seen[label] = 1;
+      first[label] = rhs_col[t];
+    } else if (first[label] != rhs_col[t]) {
+      return false;
     }
   }
   return true;
@@ -74,33 +103,26 @@ std::vector<Edge> ViolatingPairs(const EncodedInstance& inst, const FD& fd,
                                  exec::ThreadPool* pool) {
   std::vector<Edge> out;
   if (fd.IsTrivial()) return out;
-  auto parts = PartitionByLhs(inst, fd);
+  // The violating pairs of X -> A are exactly the same-X-class,
+  // different-A pairs, so the partition machinery (partition.h) does the
+  // heavy lifting: no pair outside an X-class is ever looked at.
+  const StrippedCsr csr = StripClasses(PartitionBy(inst, fd.lhs));
+  const int32_t* rhs_col = inst.ColumnData(fd.rhs);
 
-  // Pull the candidate classes (>= 2 tuples) out of the hash map. Sort them
-  // by their smallest tuple id so the work-unit order is independent of the
-  // map's iteration order; the final edge sort makes the OUTPUT canonical
-  // either way, but a stable unit order keeps chunk contents reproducible
-  // run to run, which makes scheduling bugs observable in tests.
-  std::vector<std::vector<TupleId>> classes;
-  for (auto& [key, tuples] : parts) {
-    if (tuples.size() < 2) continue;
-    classes.push_back(std::move(tuples));
-  }
-  std::sort(classes.begin(), classes.end(),
-            [](const std::vector<TupleId>& a, const std::vector<TupleId>& b) {
-              return a.front() < b.front();
-            });
-
-  // Sharded quadratic phase: each chunk of classes emits into its own
-  // buffer; buffers are concatenated in chunk order.
+  // Sharded quadratic phase over classes: each chunk emits into its own
+  // buffer; buffers are concatenated in chunk order and the final sort
+  // makes the output canonical for any thread count.
   exec::ChunkPlan plan =
-      exec::PlanChunks(static_cast<int64_t>(classes.size()), pool);
+      exec::PlanChunks(static_cast<int64_t>(csr.num_classes()), pool);
   std::vector<std::vector<Edge>> buffers(
       static_cast<size_t>(std::max(plan.num_chunks, 0)));
   exec::ParallelFor(pool, plan,
                     [&](int64_t begin, int64_t end, int chunk) {
                       for (int64_t c = begin; c < end; ++c) {
-                        EmitClassPairs(inst, fd, classes[c], &buffers[chunk]);
+                        EmitClassPairs(rhs_col,
+                                       csr.members.data() + csr.offsets[c],
+                                       csr.offsets[c + 1] - csr.offsets[c],
+                                       &buffers[chunk]);
                       }
                     });
   size_t total = 0;
@@ -115,13 +137,17 @@ int64_t CountViolatingTuples(const EncodedInstance& inst, const FDSet& fds) {
   std::unordered_set<TupleId> violating;
   for (const FD& fd : fds.fds()) {
     if (fd.IsTrivial()) continue;
-    auto parts = PartitionByLhs(inst, fd);
-    for (const auto& [key, tuples] : parts) {
-      if (tuples.size() < 2) continue;
-      std::unordered_map<int32_t, int> groups;
-      for (TupleId t : tuples) ++groups[inst.At(t, fd.rhs)];
-      if (groups.size() >= 2) {
-        for (TupleId t : tuples) violating.insert(t);
+    const StrippedCsr csr = StripClasses(PartitionBy(inst, fd.lhs));
+    const int32_t* rhs_col = inst.ColumnData(fd.rhs);
+    for (int c = 0; c < csr.num_classes(); ++c) {
+      const TupleId* tuples = csr.members.data() + csr.offsets[c];
+      const int count = csr.offsets[c + 1] - csr.offsets[c];
+      bool mixed = false;
+      for (int i = 1; i < count && !mixed; ++i) {
+        mixed = rhs_col[tuples[i]] != rhs_col[tuples[0]];
+      }
+      if (mixed) {
+        for (int i = 0; i < count; ++i) violating.insert(tuples[i]);
       }
     }
   }

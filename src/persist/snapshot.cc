@@ -19,9 +19,11 @@ namespace {
 //   u8 weight_model, heuristic{i32 max_diffsets, i64 max_nodes, u8 strict},
 //   schema{u32 m; per attr: str name, u8 type},
 //   u32 n, per attr dictionary{u64 count; tagged values},
-//   codes (n*m i32), encoded next_var (m i32), instance next_var (m i32),
+//   codes column-major (m columns of n i32 each, attribute order),
+//   encoded next_var (m i32), instance next_var (m i32),
 //   sigma{u32 count; per FD: u64 lhs, i32 rhs},
-//   index{u32 groups; per group: u64 diff, u64 edges; i32 pairs},
+//   index{u32 groups; per group: u64 diff, i64 counted, u64 edges;
+//         i32 pairs — counted groups carry zero materialized edges},
 //   table rows (one u64 per group),
 //   covers{u64 set count; per entry: words + i32 value;
 //          u64 seq count; per entry: u64 len, i32 ids, i32 value}.
@@ -110,8 +112,10 @@ uint64_t DataStamp(const EncodedInstance& inst) {
   uint64_t seed = 0x5354414dULL;  // "STAM"
   HashCombine(&seed, static_cast<uint64_t>(inst.NumTuples()));
   HashCombine(&seed, static_cast<uint64_t>(inst.NumAttrs()));
-  for (int32_t code : inst.codes()) {
-    HashCombine(&seed, static_cast<uint64_t>(static_cast<uint32_t>(code)));
+  for (AttrId a = 0; a < inst.NumAttrs(); ++a) {
+    for (int32_t code : inst.column(a)) {
+      HashCombine(&seed, static_cast<uint64_t>(static_cast<uint32_t>(code)));
+    }
   }
   for (AttrId a = 0; a < inst.NumAttrs(); ++a) {
     const Dictionary& dict = inst.dictionary(a);
@@ -154,7 +158,9 @@ Status WriteSnapshotFile(const std::string& path, const SnapshotView& view) {
     w.U64(static_cast<uint64_t>(dict.size()));
     for (const Value& v : dict.values()) WriteValue(&w, v);
   }
-  for (int32_t code : inst.codes()) w.I32(code);
+  for (AttrId a = 0; a < m; ++a) {
+    for (int32_t code : inst.column(a)) w.I32(code);
+  }
   for (int32_t counter : inst.next_var_counters()) w.I32(counter);
   for (int32_t counter : *view.instance_next_var) w.I32(counter);
 
@@ -167,10 +173,16 @@ Status WriteSnapshotFile(const std::string& path, const SnapshotView& view) {
   w.U32(static_cast<uint32_t>(view.index->size()));
   for (const DiffSetGroup& g : view.index->groups()) {
     w.U64(g.diff.bits());
-    w.U64(g.edges.size());
-    for (const Edge& e : g.edges) {
-      w.I32(e.u);
-      w.I32(e.v);
+    w.I64(g.counted);
+    // A counted group's edges are a derived cache (lazily materialized for
+    // data repair), never part of the snapshot — the bytes stay identical
+    // whether or not the session ever materialized them.
+    w.U64(g.counted > 0 ? 0 : g.edges.size());
+    if (g.counted == 0) {
+      for (const Edge& e : g.edges) {
+        w.I32(e.u);
+        w.I32(e.v);
+      }
     }
   }
 
@@ -272,15 +284,18 @@ Result<SnapshotData> ReadSnapshotFile(const std::string& path) {
     if (!PlausibleCount(num_codes, r)) {
       return IoError("snapshot '" + path + "' has an implausible cardinality");
     }
-    std::vector<int32_t> codes(static_cast<size_t>(num_codes));
-    for (int32_t& code : codes) code = r.I32();
+    std::vector<std::vector<int32_t>> columns(m);
+    for (uint32_t a = 0; a < m; ++a) {
+      columns[a].resize(n);
+      for (int32_t& code : columns[a]) code = r.I32();
+    }
     std::vector<int32_t> next_var(m);
     for (int32_t& counter : next_var) counter = r.I32();
     data.instance_next_var.resize(m);
     for (int32_t& counter : data.instance_next_var) counter = r.I32();
     data.encoded =
         EncodedInstance::Restore(std::move(schema), static_cast<int>(n),
-                                 std::move(codes), std::move(dicts),
+                                 std::move(columns), std::move(dicts),
                                  std::move(next_var));
 
     const uint32_t num_fds = r.U32();
@@ -301,8 +316,10 @@ Result<SnapshotData> ReadSnapshotFile(const std::string& path) {
     std::vector<DiffSetGroup> groups(num_groups);
     for (DiffSetGroup& g : groups) {
       g.diff = AttrSet(r.U64());
+      g.counted = r.I64();
       const uint64_t num_edges = r.U64();
-      if (!PlausibleCount(num_edges, r)) {
+      if (!PlausibleCount(num_edges, r) || g.counted < 0 ||
+          (g.counted > 0 && num_edges != 0)) {
         return IoError("snapshot '" + path + "' has an implausible edge list");
       }
       g.edges.resize(static_cast<size_t>(num_edges));

@@ -48,7 +48,12 @@ namespace retrust::persist {
 
 inline constexpr char kSnapshotMagic[8] = {'R', 'T', 'S', 'N',
                                            'A', 'P', 'S', 'H'};
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// Version history: v1 stored row-major cell codes and edge-only
+/// difference-set groups; v2 (current) stores column-major codes (one
+/// contiguous column per attribute, matching EncodedInstance's SoA layout)
+/// and a per-group counted-pair field for full-disagreement groups whose
+/// edges are never materialized. v1 files report kVersionMismatch.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 /// The (Σ, weights, heuristic) identity of a snapshot: a session may only
 /// adopt a snapshot whose fingerprint matches its own configuration.

@@ -42,7 +42,8 @@ Dictionary Dictionary::FromValues(std::vector<Value> values) {
 
 EncodedInstance::EncodedInstance(const Instance& inst)
     : schema_(inst.schema()), n_(inst.NumTuples()), m_(inst.NumAttrs()) {
-  codes_.resize(static_cast<size_t>(n_) * m_);
+  cols_.resize(m_);
+  for (AttrId a = 0; a < m_; ++a) cols_[a].resize(n_);
   dicts_.resize(m_);
   next_var_.assign(m_, 0);
   for (TupleId t = 0; t < n_; ++t) {
@@ -56,7 +57,7 @@ EncodedInstance::EncodedInstance(const Instance& inst)
       } else {
         code = dicts_[a].Intern(v);
       }
-      codes_[Flat(t, a)] = code;
+      cols_[a][t] = code;
     }
   }
 }
@@ -73,49 +74,61 @@ int32_t EncodedInstance::EncodeValue(const Value& v, AttrId a) {
 void EncodedInstance::ApplyDelta(const DeltaBatch& delta,
                                  const DeltaPlan& plan) {
   for (const CellUpdate& u : delta.updates) {
-    codes_[Flat(u.tuple, u.attr)] = EncodeValue(u.value, u.attr);
+    cols_[u.attr][u.tuple] = EncodeValue(u.value, u.attr);
   }
   for (const auto& [dst, src] : plan.moves) {
-    std::copy_n(codes_.begin() + Flat(src, 0), m_,
-                codes_.begin() + Flat(dst, 0));
+    for (AttrId a = 0; a < m_; ++a) cols_[a][dst] = cols_[a][src];
   }
   const int live = plan.new_num_tuples - static_cast<int>(delta.inserts.size());
   n_ = plan.new_num_tuples;
-  codes_.resize(static_cast<size_t>(n_) * m_);
+  for (AttrId a = 0; a < m_; ++a) cols_[a].resize(n_);
   for (size_t i = 0; i < delta.inserts.size(); ++i) {
     const Tuple& t = delta.inserts[i];
     TupleId row = live + static_cast<TupleId>(i);
     for (AttrId a = 0; a < m_; ++a) {
-      codes_[Flat(row, a)] = EncodeValue(t[a], a);
+      cols_[a][row] = EncodeValue(t[a], a);
     }
   }
 }
 
-EncodedInstance EncodedInstance::Restore(Schema schema, int num_tuples,
-                                         std::vector<int32_t> codes,
-                                         std::vector<Dictionary> dicts,
-                                         std::vector<int32_t> next_var) {
+std::vector<int32_t> EncodedInstance::RowMajorCodes() const {
+  std::vector<int32_t> out(static_cast<size_t>(n_) * m_);
+  for (AttrId a = 0; a < m_; ++a) {
+    const int32_t* col = cols_[a].data();
+    for (TupleId t = 0; t < n_; ++t) {
+      out[static_cast<size_t>(t) * m_ + a] = col[t];
+    }
+  }
+  return out;
+}
+
+EncodedInstance EncodedInstance::Restore(
+    Schema schema, int num_tuples, std::vector<std::vector<int32_t>> columns,
+    std::vector<Dictionary> dicts, std::vector<int32_t> next_var) {
   const int m = schema.NumAttrs();
-  if (num_tuples < 0 ||
-      codes.size() != static_cast<size_t>(num_tuples) * m ||
+  if (num_tuples < 0 || columns.size() != static_cast<size_t>(m) ||
       dicts.size() != static_cast<size_t>(m) ||
       next_var.size() != static_cast<size_t>(m)) {
     throw std::invalid_argument("encoded-instance parts do not match shape");
   }
-  for (size_t i = 0; i < codes.size(); ++i) {
-    const int32_t code = codes[i];
-    const AttrId a = static_cast<AttrId>(i % m);
-    if (IsVariableCode(code) ? VariableIndexOfCode(code) >= next_var[a]
-                             : code >= dicts[a].size()) {
-      throw std::invalid_argument("cell code out of range for attribute " +
+  for (AttrId a = 0; a < m; ++a) {
+    if (columns[a].size() != static_cast<size_t>(num_tuples)) {
+      throw std::invalid_argument("column length mismatch for attribute " +
                                   std::to_string(a));
+    }
+    for (const int32_t code : columns[a]) {
+      if (IsVariableCode(code) ? VariableIndexOfCode(code) >= next_var[a]
+                               : code >= dicts[a].size()) {
+        throw std::invalid_argument("cell code out of range for attribute " +
+                                    std::to_string(a));
+      }
     }
   }
   EncodedInstance out;
   out.schema_ = std::move(schema);
   out.n_ = num_tuples;
   out.m_ = m;
-  out.codes_ = std::move(codes);
+  out.cols_ = std::move(columns);
   out.dicts_ = std::move(dicts);
   out.next_var_ = std::move(next_var);
   return out;

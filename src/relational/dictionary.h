@@ -8,6 +8,12 @@
 //   * equal constants share a code;
 //   * a variable equals only itself (same negative code);
 //   * variables never collide with constants (sign differs).
+//
+// Storage is column-major (SoA): one contiguous int32_t column per
+// attribute. Per-attribute kernels — partitioning, agree/disagree tests,
+// the blocked difference-set build — stream a single cache-friendly array
+// instead of striding row-major cells; At(t, a) remains the row-oriented
+// compatibility accessor for everything else.
 
 #ifndef RETRUST_RELATIONAL_DICTIONARY_H_
 #define RETRUST_RELATIONAL_DICTIONARY_H_
@@ -68,17 +74,15 @@ class EncodedInstance {
   /// dictionaries only ever grow — codes are stable across deltas, so
   /// untouched cells keep their codes and derived structures can be
   /// patched instead of rebuilt). `plan` must come from PlanDelta against
-  /// this instance's current shape.
+  /// this instance's current shape. O(Δ·m + moved rows) per column set.
   void ApplyDelta(const DeltaBatch& delta, const DeltaPlan& plan);
 
   const Schema& schema() const { return schema_; }
   int NumTuples() const { return n_; }
   int NumAttrs() const { return m_; }
 
-  int32_t At(TupleId t, AttrId a) const { return codes_[Flat(t, a)]; }
-  void SetCode(TupleId t, AttrId a, int32_t code) {
-    codes_[Flat(t, a)] = code;
-  }
+  int32_t At(TupleId t, AttrId a) const { return cols_[a][t]; }
+  void SetCode(TupleId t, AttrId a, int32_t code) { cols_[a][t] = code; }
 
   /// Sets t[a] to a fresh variable and returns its code.
   int32_t SetFreshVariable(TupleId t, AttrId a);
@@ -86,17 +90,26 @@ class EncodedInstance {
   /// Returns a fresh variable code for attribute `a` without assigning it.
   int32_t NewVariableCode(AttrId a) { return VariableCode(next_var_[a]++); }
 
-  /// Raw serialization surface (src/persist/): the row-major cell codes
-  /// and the per-attribute fresh-variable counters.
-  const std::vector<int32_t>& codes() const { return codes_; }
+  /// One attribute's column of cell codes, indexed by TupleId — the
+  /// streaming surface of the blocked build and of src/persist/.
+  const std::vector<int32_t>& column(AttrId a) const { return cols_[a]; }
+  /// Raw pointer form of column(): kernels hoist this out of pair loops so
+  /// each cell test is a single indexed load (no Flat(t, a) multiply).
+  const int32_t* ColumnData(AttrId a) const { return cols_[a].data(); }
+
+  /// Row-major compatibility accessor: materializes the legacy
+  /// t*m + a layout (tests, debugging). O(n·m) — not a hot-path surface.
+  std::vector<int32_t> RowMajorCodes() const;
+
   const std::vector<int32_t>& next_var_counters() const { return next_var_; }
 
   /// Rebuilds an encoded instance from its serialized parts (the inverse
-  /// of codes()/dictionary()/next_var_counters()). Throws
-  /// std::invalid_argument on shape mismatches (codes/dicts/counters not
-  /// matching the schema and cardinality).
+  /// of column()/dictionary()/next_var_counters()): one code vector per
+  /// attribute, each of length `num_tuples`. Throws std::invalid_argument
+  /// on shape mismatches (columns/dicts/counters not matching the schema
+  /// and cardinality).
   static EncodedInstance Restore(Schema schema, int num_tuples,
-                                 std::vector<int32_t> codes,
+                                 std::vector<std::vector<int32_t>> columns,
                                  std::vector<Dictionary> dicts,
                                  std::vector<int32_t> next_var);
 
@@ -116,7 +129,8 @@ class EncodedInstance {
   /// current cell codes (the paper's F_count(Y) = |π_Y(I)|).
   int64_t CountDistinctProjection(AttrSet attrs) const;
 
-  /// Cells whose codes differ from `other` (same shape required).
+  /// Cells whose codes differ from `other` (same shape required), in
+  /// (tuple, attr) order.
   std::vector<CellRef> DiffCells(const EncodedInstance& other) const;
 
   /// |Δd| against `other`.
@@ -125,10 +139,6 @@ class EncodedInstance {
   }
 
  private:
-  size_t Flat(TupleId t, AttrId a) const {
-    return static_cast<size_t>(t) * m_ + a;
-  }
-
   /// Encodes one value for attribute `a` (interning constants, keeping
   /// variable indices and the fresh-variable counter consistent).
   int32_t EncodeValue(const Value& v, AttrId a);
@@ -136,7 +146,7 @@ class EncodedInstance {
   Schema schema_;
   int n_ = 0;
   int m_ = 0;
-  std::vector<int32_t> codes_;
+  std::vector<std::vector<int32_t>> cols_;  ///< cols_[a][t], m_ columns
   std::vector<Dictionary> dicts_;
   std::vector<int32_t> next_var_;
 };

@@ -100,12 +100,18 @@ struct ModifyFdsResult {
 /// exec::Sweep relies on; sweep jobs share the table AND the cover memo.
 class FdSearchContext {
  public:
-  /// `eopts` shards the conflict-graph, difference-set, and violation-
-  /// table construction (identical output for any thread count).
+  /// `eopts` shards the difference-set and violation-table construction
+  /// (identical output for any thread count). `mode` selects the
+  /// difference-set builder: kBlocked (default, sub-quadratic when classes
+  /// are small) or kNaive (the legacy conflict-graph pair scan, kept as an
+  /// oracle) — both produce BIT-IDENTICAL indexes. The context keeps a
+  /// pointer to `inst` (for lazy materialization of counted groups), so
+  /// `inst` must outlive the context — already required by ApplyDelta.
   FdSearchContext(const FDSet& sigma, const EncodedInstance& inst,
                   const WeightFunction& weights,
                   const HeuristicOptions& hopts = {},
-                  const exec::Options& eopts = {});
+                  const exec::Options& eopts = {},
+                  DiffSetBuildMode mode = DiffSetBuildMode::kBlocked);
 
   /// Restore construction (src/persist/): adopts a pre-built difference-set
   /// index and the evaluator's warm caches instead of paying the O(n²)
@@ -132,7 +138,12 @@ class FdSearchContext {
   /// table copies preserved incidence rows, and warm covers over
   /// preserved groups are remapped; every post-delta answer is
   /// BIT-IDENTICAL to a context freshly built over the mutated instance,
-  /// for any thread count. Bumps version(); in-flight exec::Sweep runs
+  /// for any thread count. Exception: when some FD of Σ has an empty LHS
+  /// (the only regime where full-disagreement pairs are conflict edges and
+  /// the index may carry a counted group), the pre-delta pair population
+  /// is not recoverable from the post-delta instance, so the index is
+  /// REBUILT with the blocked builder and all warm covers drop — still
+  /// bit-identical to a fresh build, just without the O(Δ·n) shortcut. Bumps version(); in-flight exec::Sweep runs
   /// detect the bump and refuse to mix snapshots. NOT safe against
   /// concurrent const use — callers serialize deltas against queries
   /// (retrust::Session does this with a shared/exclusive lock).
@@ -158,6 +169,10 @@ class FdSearchContext {
   const FDSet& sigma() const { return sigma_; }
   const StateSpace& space() const { return space_; }
   const DifferenceSetIndex& index() const { return index_; }
+  /// Phase timings and pair counts of the index build that produced this
+  /// context (zeros for the restore constructor — a snapshot restore does
+  /// not rebuild). Refreshed when ApplyDelta falls back to a full rebuild.
+  const DiffSetBuildStats& build_stats() const { return build_stats_; }
   const DeltaPEvaluator& evaluator() const { return *evaluator_; }
   const GcHeuristic& heuristic() const { return heuristic_; }
   const WeightFunction& weights() const { return weights_; }
@@ -180,6 +195,9 @@ class FdSearchContext {
   FDSet sigma_;
   int num_tuples_;
   StateSpace space_;
+  // Declared before index_: the index initializer writes the stats through
+  // a pointer, so the member must already be initialized at that point.
+  DiffSetBuildStats build_stats_;
   DifferenceSetIndex index_;
   std::unique_ptr<DeltaPEvaluator> evaluator_;  ///< built over index_
   const WeightFunction& weights_;

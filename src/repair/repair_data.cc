@@ -83,11 +83,12 @@ DataRepairResult RepairData(const EncodedInstance& inst,
   // against τ (Theorem 2 consistency). The graph/index construction is
   // sharded per eopts; the index is identical for any thread count.
   DifferenceSetIndex index = BuildDifferenceSetIndex(inst, sigma_prime, eopts);
+  index.BindInstance(&inst);  // counted groups materialize lazily
   std::vector<int32_t> cover;
   {
     std::vector<char> covered(inst.NumTuples(), 0);
-    for (const DiffSetGroup& g : index.groups()) {
-      for (const Edge& e : g.edges) {
+    for (int g = 0; g < index.size(); ++g) {
+      for (const Edge& e : index.EdgesForCover(g)) {
         if (!covered[e.u] && !covered[e.v]) {
           covered[e.u] = covered[e.v] = 1;
           cover.push_back(e.u);
