@@ -1,0 +1,188 @@
+// Quality-vs-time frontier of the search policies (src/search/engine.cc).
+//
+// For several schema scales |Σ| the bench runs the same τ-constrained
+// FD-modification search under every policy and reports:
+//
+//   * time-to-FIRST-repair (the anytime/greedy headline: how long until a
+//     τ-feasible repair is in hand) vs the exact policy's full runtime
+//     (exact only answers once optimality is proven);
+//   * the final cost each policy settles on, the proven suboptimality
+//     bound, and the incumbent count — the quality side of the trade;
+//   * the engine's pruning counters (expansions, δP-floor prunes).
+//
+// Writes BENCH_search.json; CI's Release gate asserts the headline
+// anytime (w = 2) first-repair latency is at most 0.5× the exact runtime
+// at the largest scale (speedup_x >= 2).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/eval/generator.h"
+#include "src/eval/perturb.h"
+#include "src/repair/modify_fds.h"
+#include "src/util/timer.h"
+
+using namespace retrust;
+
+namespace {
+
+struct Dataset {
+  EncodedInstance encoded;
+  FDSet sigma;
+};
+
+/// Census-like data with |planted| FDs of LHS width 4: every extra FD
+/// multiplies the LHS-extension branching the search must order, which is
+/// exactly the regime where exact's optimality scan gets expensive and
+/// the anytime frontier pays off.
+Dataset MakeDataset(int n, int num_fds, uint64_t seed) {
+  CensusConfig gen;
+  gen.num_tuples = n;
+  gen.num_attrs = 12;
+  gen.planted_lhs_sizes.assign(num_fds, 4);
+  gen.seed = seed;
+  GeneratedData clean = GenerateCensusLike(gen);
+  PerturbOptions perturb;
+  perturb.fd_error_rate = 0.5;
+  perturb.data_error_rate = 0.02;
+  perturb.seed = seed + 1;
+  PerturbedData dirty = Perturb(clean.instance, clean.planted_fds, perturb);
+  return {EncodedInstance(dirty.data), std::move(dirty.fds)};
+}
+
+struct PolicyRun {
+  const char* label = "";
+  double seconds = 0.0;            ///< full policy runtime
+  double first_repair_seconds = 0.0;
+  double distc = 0.0;
+  double suboptimality_bound = 0.0;
+  int64_t expansions = 0;
+  int64_t lb_prunes = 0;
+  int64_t incumbents = 0;
+  bool found = false;
+};
+
+PolicyRun RunPolicy(const FdSearchContext& ctx, int64_t tau,
+                    const ModifyFdsOptions& opts, const char* label) {
+  // One run per policy: the search is deterministic and the largest scale
+  // runs for seconds, so the between-run noise is in the percents — far
+  // below the 2x the gate asserts.
+  ModifyFdsResult r = ModifyFds(ctx, tau, opts);
+  PolicyRun run;
+  run.label = label;
+  run.seconds = r.stats.seconds;
+  run.first_repair_seconds = r.stats.first_repair_seconds;
+  run.suboptimality_bound = r.stats.suboptimality_bound;
+  run.expansions = r.stats.expansions;
+  run.lb_prunes = r.stats.lb_prunes;
+  run.incumbents = r.stats.incumbent_improvements;
+  run.found = r.repair.has_value();
+  run.distc = r.repair.has_value() ? r.repair->distc : -1.0;
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("search frontier",
+                "first-repair latency and final cost across policies");
+
+  const std::vector<int> fd_counts = {1, 2, 3, 4};
+  const int n = bench::ScaledN(400);
+
+  FILE* json = bench::OpenBenchJson("search");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"rows\": [\n");
+  }
+
+  double gate_exact_seconds = 0.0;
+  double gate_anytime_first = 0.0;
+  bool first_row = true;
+  for (int num_fds : fd_counts) {
+    Dataset data = MakeDataset(n, num_fds, /*seed=*/7);
+    DistinctCountWeight weights(data.encoded);
+    FdSearchContext ctx(data.sigma, data.encoded, weights);
+    const int64_t tau = ctx.RootDeltaP() / 4;
+
+    std::vector<PolicyRun> runs;
+    {
+      ModifyFdsOptions opts;
+      runs.push_back(RunPolicy(ctx, tau, opts, "exact"));
+    }
+    for (double w : {1.5, 2.0, 3.0}) {
+      ModifyFdsOptions opts;
+      opts.policy.policy = search::SearchPolicy::kAnytime;
+      opts.policy.weighting_factor = w;
+      char label[32];
+      std::snprintf(label, sizeof label, "anytime_w%.1f", w);
+      PolicyRun run = RunPolicy(ctx, tau, opts, "anytime");
+      std::printf("|Sigma| = %d  %-12s first repair %8.2f ms  total "
+                  "%8.2f ms  distc %6.1f  bound %.2fx  expansions %lld  "
+                  "lb prunes %lld\n",
+                  num_fds, label, run.first_repair_seconds * 1e3,
+                  run.seconds * 1e3, run.distc, run.suboptimality_bound,
+                  static_cast<long long>(run.expansions),
+                  static_cast<long long>(run.lb_prunes));
+      if (w == 2.0) runs.push_back(run);
+    }
+    {
+      ModifyFdsOptions opts;
+      opts.policy.policy = search::SearchPolicy::kGreedy;
+      runs.push_back(RunPolicy(ctx, tau, opts, "greedy"));
+    }
+
+    const PolicyRun& exact = runs[0];
+    const PolicyRun& anytime = runs[1];
+    const PolicyRun& greedy = runs[2];
+    std::printf("|Sigma| = %d  %-12s first repair %8.2f ms  total "
+                "%8.2f ms  distc %6.1f  (optimal)\n",
+                num_fds, "exact", exact.first_repair_seconds * 1e3,
+                exact.seconds * 1e3, exact.distc);
+    std::printf("|Sigma| = %d  %-12s first repair %8.2f ms  total "
+                "%8.2f ms  distc %6.1f  (no claim)\n\n",
+                num_fds, "greedy", greedy.first_repair_seconds * 1e3,
+                greedy.seconds * 1e3, greedy.distc);
+
+    // The gate reads the LARGEST scale: that is where the anytime payoff
+    // must show.
+    gate_exact_seconds = exact.seconds;
+    gate_anytime_first = anytime.first_repair_seconds;
+
+    if (json != nullptr) {
+      for (const PolicyRun& run : runs) {
+        std::fprintf(json,
+                     "%s    {\"num_fds\": %d, \"policy\": \"%s\", "
+                     "\"seconds\": %.6f, \"first_repair_seconds\": %.6f, "
+                     "\"distc\": %.3f, \"suboptimality_bound\": %.3f, "
+                     "\"expansions\": %lld, \"lb_prunes\": %lld, "
+                     "\"incumbents\": %lld, \"found\": %s}",
+                     first_row ? "" : ",\n", num_fds, run.label,
+                     run.seconds, run.first_repair_seconds, run.distc,
+                     run.suboptimality_bound,
+                     static_cast<long long>(run.expansions),
+                     static_cast<long long>(run.lb_prunes),
+                     static_cast<long long>(run.incumbents),
+                     run.found ? "true" : "false");
+        first_row = false;
+      }
+    }
+  }
+
+  const double speedup =
+      gate_anytime_first > 0 ? gate_exact_seconds / gate_anytime_first : 0;
+  std::printf("headline (|Sigma| = %d): exact %.2f ms, anytime(w=2) first "
+              "repair %.2f ms -> speedup_x %.1f\n",
+              fd_counts.back(), gate_exact_seconds * 1e3,
+              gate_anytime_first * 1e3, speedup);
+
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "\n  ],\n  \"exact_seconds\": %.6f,\n"
+                 "  \"anytime_first_repair_seconds\": %.6f,\n"
+                 "  \"speedup_x\": %.2f\n}\n",
+                 gate_exact_seconds, gate_anytime_first, speedup);
+    std::fclose(json);
+  }
+  return 0;
+}

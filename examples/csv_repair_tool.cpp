@@ -5,6 +5,7 @@
 //   example_csv_repair_tool <file.csv> <tau_r> <fd> [<fd> ...]
 //                           [--append <more.csv>]
 //                           [--save-snapshot <file.snap>]
+//                           [--policy exact|anytime|greedy] [--weight <w>]
 //                           [--timing]
 //   example_csv_repair_tool --from-snapshot <file.snap> <tau_r>
 //
@@ -24,9 +25,17 @@
 //   --from-snapshot  restore a session from such a file instead of
 //             building one from CSV: the O(n^2) context build is skipped,
 //             so no <fd> arguments are taken — the FDs travel in the file.
+//   --policy  search policy for the FD step (default exact): "anytime"
+//             surfaces a first repair fast (within --weight times the
+//             optimal cost) and refines it; "greedy" takes the first
+//             feasible relaxation with no optimality claim.
+//   --weight  weighted-A* factor w >= 1 for --policy anytime (default 2).
 //   --timing  report the difference-set index build: per-phase wall times
 //             (partition / enumerate / group) and how many conflict pairs
 //             were materialized vs merely counted by the blocked builder.
+//             Also prints the search's incumbent trajectory — when each
+//             best-so-far repair was found, at what cost — and the proven
+//             suboptimality bound (the anytime quality-vs-time curve).
 //
 // Prints the chosen FD relaxation, the cell edits, and the repaired table.
 // Run with no arguments for a built-in demo.
@@ -164,7 +173,9 @@ int AppendRows(Session& session, const std::string& path) {
 int RunRepair(Result<Session> session, double tau_r,
               const std::string& append_path,
               const std::string& save_snapshot_path = {},
-              bool from_snapshot = false, bool timing = false) {
+              bool from_snapshot = false, bool timing = false,
+              search::SearchPolicy policy = search::SearchPolicy::kExact,
+              double weight = 2.0) {
   if (!session.ok()) {
     return from_snapshot ? FailSnapshotOpen(session.status())
                          : Fail(session.status());
@@ -217,8 +228,15 @@ int RunRepair(Result<Session> session, double tau_r,
               static_cast<long long>(*tau), tau_r * 100,
               static_cast<long long>(root));
 
-  Result<RepairResponse> response =
-      session->Repair(RepairRequest::At(*tau));
+  RepairRequest request = RepairRequest::At(*tau);
+  request.policy = policy;
+  request.weight = weight;
+  if (policy == search::SearchPolicy::kAnytime) {
+    std::printf("search policy: anytime (w = %.2f)\n\n", weight);
+  } else if (policy == search::SearchPolicy::kGreedy) {
+    std::printf("search policy: greedy\n\n");
+  }
+  Result<RepairResponse> response = session->Repair(request);
   if (!response.ok()) {
     if (response.status().code() == StatusCode::kNoRepairWithinTau) {
       std::printf("No repair exists within %lld cell changes — the "
@@ -231,6 +249,23 @@ int RunRepair(Result<Session> session, double tau_r,
   }
 
   const Repair& repair = response->repair;
+  if (timing && !repair.incumbents.empty()) {
+    std::printf("incumbent trajectory (best repair over time):\n");
+    for (const search::IncumbentPoint& p : repair.incumbents) {
+      std::printf("  %8.3f ms  distc = %-6.1f deltaP = %-5lld after %lld "
+                  "states\n",
+                  p.seconds * 1e3, p.distc,
+                  static_cast<long long>(p.delta_p),
+                  static_cast<long long>(p.states_visited));
+    }
+    if (repair.stats.suboptimality_bound > 0) {
+      std::printf("  proven cost within %.2fx of optimal\n",
+                  repair.stats.suboptimality_bound);
+    } else {
+      std::printf("  no optimality claim (greedy policy)\n");
+    }
+    std::printf("\n");
+  }
   std::printf("Sigma' = %s   (distc = %.1f)\n",
               repair.sigma_prime.ToString(schema).c_str(), repair.distc);
   std::printf("cell edits: %zu\n", repair.changed_cells.size());
@@ -271,6 +306,8 @@ int main(int argc, char** argv) {
   std::string save_snapshot_path;
   std::string from_snapshot_path;
   bool timing = false;
+  search::SearchPolicy policy = search::SearchPolicy::kExact;
+  double weight = 2.0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto flag_value = [&](const char* flag) -> const char* {
@@ -280,7 +317,24 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--append") {
+    if (arg == "--policy") {
+      const char* v = flag_value("--policy");
+      if (v == nullptr) return 4;
+      if (!search::ParseSearchPolicy(v, &policy)) {
+        std::fprintf(stderr,
+                     "error: unknown policy '%s' (exact|anytime|greedy)\n",
+                     v);
+        return 4;
+      }
+    } else if (arg == "--weight") {
+      const char* v = flag_value("--weight");
+      if (v == nullptr) return 4;
+      weight = std::atof(v);
+      if (!(weight >= 1.0)) {
+        std::fprintf(stderr, "error: --weight must be a number >= 1\n");
+        return 4;
+      }
+    } else if (arg == "--append") {
       const char* v = flag_value("--append");
       if (v == nullptr) return 4;
       append_path = v;
@@ -308,7 +362,7 @@ int main(int argc, char** argv) {
     double tau_r = std::atof(args[0].c_str());
     return RunRepair(Session::OpenSnapshot(from_snapshot_path), tau_r,
                      append_path, save_snapshot_path,
-                     /*from_snapshot=*/true, timing);
+                     /*from_snapshot=*/true, timing, policy, weight);
   }
   if (args.size() < 3) {
     if (!append_path.empty() || !save_snapshot_path.empty()) {
@@ -321,5 +375,6 @@ int main(int argc, char** argv) {
   double tau_r = std::atof(args[1].c_str());
   std::vector<std::string> fds(args.begin() + 2, args.end());
   return RunRepair(Session::OpenCsv(args[0], fds), tau_r, append_path,
-                   save_snapshot_path, /*from_snapshot=*/false, timing);
+                   save_snapshot_path, /*from_snapshot=*/false, timing,
+                   policy, weight);
 }

@@ -583,6 +583,9 @@ ModifyFdsOptions Session::SearchOptions(const RepairRequest& req) const {
   ModifyFdsOptions opts;
   opts.mode = req.mode;
   opts.heuristic = opts_.heuristic;
+  opts.policy.policy = req.policy;
+  opts.policy.weighting_factor = req.weight;
+  opts.policy.initial_upper_bound = req.upper_bound;
   opts.max_visited = req.budget;
   opts.deadline_seconds = req.deadline_seconds;
   opts.cancel = req.cancel;

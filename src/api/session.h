@@ -45,6 +45,7 @@
 #include "src/persist/journal.h"
 #include "src/relational/delta.h"
 #include "src/repair/multi_repair.h"
+#include "src/search/policy.h"
 
 namespace retrust {
 
@@ -134,6 +135,16 @@ struct RepairRequest {
   int64_t tau = -1;     ///< absolute τ; negative = use tau_r
   double tau_r = -1.0;  ///< relative τr; ignored when tau >= 0
   SearchMode mode = SearchMode::kAStar;
+  /// Engine policy for the FD search (src/search/policy.h): kExact (the
+  /// default — Algorithm 2's optimality guarantee), kAnytime (weighted-A*,
+  /// first repair fast, refined until interrupted), or kGreedy. The
+  /// quality-vs-time knob of the service wire ("policy"/"weight" fields).
+  search::SearchPolicy policy = search::SearchPolicy::kExact;
+  /// Weighted-A* factor w >= 1 (kAnytime only): first incumbent costs at
+  /// most w·optimal.
+  double weight = 2.0;
+  /// Known cost cap for kAnytime/kGreedy pruning (0 = none).
+  double upper_bound = 0.0;
   uint64_t seed = 1;    ///< drives Algorithm 4's random orders
   /// Visit budget for the search (0 = unlimited). Exceeding it without a
   /// repair fails the request with kBudgetExceeded.

@@ -31,7 +31,11 @@ namespace retrust::exec {
 
 /// One job of a sweep: an end-to-end repair at trust level τ. The job's
 /// `opts.search.exec` is overridden to serial — the sweep parallelizes
-/// ACROSS jobs, never inside them.
+/// ACROSS jobs, never inside them. Every other search knob rides along
+/// per job, including `opts.search.policy`: a sweep can mix exact and
+/// anytime/greedy jobs freely (each job runs its own engine loop with its
+/// own incumbents/bounds; the shared context and cover memo stay policy-
+/// agnostic).
 struct SweepJob {
   int64_t tau = 0;
   RepairOptions opts;

@@ -1,12 +1,8 @@
 #include "src/repair/modify_fds.h"
 
-#include <algorithm>
-#include <queue>
-#include <unordered_map>
-
 #include "src/exec/thread_pool.h"
 #include "src/fd/conflict_graph.h"
-#include "src/util/timer.h"
+#include "src/search/engine.h"
 
 namespace retrust {
 
@@ -116,220 +112,12 @@ int64_t FdSearchContext::RootDeltaP() const {
   return DeltaP(SearchState::Root(sigma_.size()), nullptr);
 }
 
-namespace {
-
-// Open-list entry. gc evaluation is LAZY: children are pushed with their
-// parent's priority as a lower bound (gc is monotone along tree edges —
-// a child's descendants are a subset of its parent's) and get their own
-// gc computed only when they reach the top of the heap. This cuts gc
-// evaluations from O(states generated) to O(states visited).
-struct OpenEntry {
-  double priority;   // a lower bound on gc(S); exact once `evaluated`
-  double cost;       // cost(S), for tie-breaking
-  int64_t seq;       // FIFO tie-break for determinism
-  bool evaluated;    // true once priority == gc(S) (A*) / cost(S) (BF)
-  SearchState state;
-
-  bool operator<(const OpenEntry& o) const {
-    // std::priority_queue is a max-heap; invert.
-    if (priority != o.priority) return priority > o.priority;
-    if (cost != o.cost) return cost > o.cost;
-    return seq > o.seq;
-  }
-};
-
-// Speculative successor evaluator for the parallel engine.
-//
-// gc(S) and |C2opt(S)| are pure functions of (state, τ), so evaluating
-// them EARLY — at expansion time, for a popped state's LHS-extensions
-// concurrently, each child on pooled scratch owned by the context's
-// evaluation layer — and handing the memoized values to the unmodified
-// lazy search loop later produces the exact serial visit order and result
-// for any thread count. Speculation trades extra evaluations (children
-// that never reach the top of the heap) for wall-clock parallelism; the
-// serial path (no pool) skips it entirely and keeps the lazy O(visited)
-// evaluation count.
-class SuccessorEvaluator {
- public:
-  SuccessorEvaluator(const FdSearchContext& ctx, int64_t tau, bool astar,
-                     exec::ThreadPool* pool)
-      : ctx_(ctx), tau_(tau), astar_(astar), pool_(pool) {}
-
-  bool active() const { return pool_ != nullptr; }
-
-  /// Evaluates gc (A*) and δP of the flagged children concurrently and
-  /// memoizes the values. Stats of the evaluations are merged into `stats`
-  /// in child order (deterministic totals).
-  void Speculate(const std::vector<SearchState>& children,
-                 const std::vector<char>& keep, SearchStats* stats) {
-    if (!active() || children.empty()) return;
-    std::vector<Entry> results(children.size());
-    exec::TaskGroup group(pool_);
-    for (size_t i = 0; i < children.size(); ++i) {
-      if (!keep[i]) continue;
-      const SearchState& child = children[i];
-      Entry* out = &results[i];
-      group.Run([this, &child, out] {
-        if (astar_) {
-          out->gc = ctx_.heuristic().Compute(child, tau_, &out->stats);
-          if (out->gc == GcHeuristic::kInfinity) return;  // never visited
-        }
-        out->cover = ctx_.CoverSize(child, &out->stats);
-      });
-    }
-    group.Wait();
-    for (size_t i = 0; i < children.size(); ++i) {
-      if (!keep[i]) continue;
-      stats->Accumulate(results[i].stats);
-      results[i].stats = SearchStats{};
-      cache_.emplace(children[i], results[i]);
-    }
-  }
-
-  /// gc(s): memoized value if speculated, computed inline otherwise.
-  double Gc(const SearchState& s, SearchStats* stats) {
-    auto it = cache_.find(s);
-    if (it != cache_.end()) {
-      double gc = it->second.gc;
-      if (gc == GcHeuristic::kInfinity) cache_.erase(it);  // discarded next
-      return gc;
-    }
-    return ctx_.heuristic().Compute(s, tau_, stats);
-  }
-
-  /// |C2opt(s)|: memoized value if speculated, computed inline otherwise.
-  int64_t Cover(const SearchState& s, SearchStats* stats) {
-    auto it = cache_.find(s);
-    if (it != cache_.end() && it->second.cover >= 0) {
-      int64_t cover = it->second.cover;
-      cache_.erase(it);  // a state is visited at most once
-      return cover;
-    }
-    return ctx_.CoverSize(s, stats);
-  }
-
- private:
-  struct Entry {
-    double gc = 0.0;
-    int64_t cover = -1;
-    SearchStats stats;
-  };
-
-  const FdSearchContext& ctx_;
-  int64_t tau_;
-  bool astar_;
-  exec::ThreadPool* pool_;
-  std::unordered_map<SearchState, Entry, SearchStateHash> cache_;
-};
-
-}  // namespace
-
 ModifyFdsResult ModifyFds(const FdSearchContext& ctx, int64_t tau,
                           const ModifyFdsOptions& opts) {
-  Timer timer;
-  ModifyFdsResult result;
-  SearchStats& stats = result.stats;
-  const bool astar = opts.mode == SearchMode::kAStar;
-
-  std::unique_ptr<exec::ThreadPool> pool = exec::MakePool(opts.exec);
-  SuccessorEvaluator evaluator(ctx, tau, astar, pool.get());
-
-  std::priority_queue<OpenEntry> pq;
-  int64_t seq = 0;
-  SearchState root = SearchState::Root(ctx.sigma().size());
-  pq.push({root.Cost(ctx.weights()), root.Cost(ctx.weights()), seq++,
-           !astar, root});
-  ++stats.states_generated;
-
-  std::optional<FdRepair> best;
-  while (!pq.empty()) {
-    // Interruption checks, once per popped state. Cancellation and deadlines
-    // are timing-dependent by nature; the default options leave both off and
-    // keep the search fully deterministic.
-    if (opts.cancel != nullptr && opts.cancel->Cancelled()) {
-      result.termination = SearchTermination::kCancelled;
-      break;
-    }
-    if (opts.deadline_seconds > 0 &&
-        timer.ElapsedSeconds() > opts.deadline_seconds) {
-      result.termination = SearchTermination::kDeadline;
-      break;
-    }
-
-    OpenEntry top = pq.top();
-    pq.pop();
-
-    if (!top.evaluated) {
-      // Deferred gc evaluation (A* only); memoized when speculated.
-      double gc = evaluator.Gc(top.state, &stats);
-      if (gc == GcHeuristic::kInfinity) continue;  // no goal below here
-      top.priority = std::max(gc, top.cost);
-      top.evaluated = true;
-      if (!pq.empty() && pq.top().priority < top.priority) {
-        pq.push(std::move(top));  // someone else is cheaper now
-        continue;
-      }
-    }
-
-    ++stats.states_visited;
-    if (opts.max_visited > 0 && stats.states_visited > opts.max_visited) {
-      result.termination = SearchTermination::kVisitBudget;
-      break;
-    }
-
-    // Once a goal is known, states that cannot beat (or tie) it are done.
-    if (best.has_value()) {
-      bool can_tie = opts.tie_break_delta &&
-                     top.cost <= best->distc + opts.cost_epsilon;
-      if (top.priority > best->distc + opts.cost_epsilon) break;
-      if (!can_tie && top.cost > best->distc + opts.cost_epsilon) continue;
-    }
-
-    int64_t cover = evaluator.Cover(top.state, &stats);
-    int64_t delta_p = ctx.alpha() * cover;
-    if (delta_p <= tau) {
-      // Goal state.
-      double cost = top.state.Cost(ctx.weights());
-      if (!best.has_value()) {
-        best = FdRepair{top.state, top.state.Apply(ctx.sigma()), cost, cover,
-                        delta_p};
-        if (!opts.tie_break_delta) break;
-        continue;  // keep scanning for equal-cost goals with smaller δP
-      }
-      if (cost <= best->distc + opts.cost_epsilon &&
-          delta_p < best->delta_p) {
-        best = FdRepair{top.state, top.state.Apply(ctx.sigma()), cost, cover,
-                        delta_p};
-      }
-      continue;  // children of a goal state only cost more
-    }
-
-    // Expand. Children inherit the parent's priority as a lower bound;
-    // the ones surviving the bound check are (optionally) evaluated
-    // speculatively in parallel before being pushed in canonical order.
-    std::vector<SearchState> children = ctx.space().Children(top.state);
-    std::vector<double> lower(children.size());
-    std::vector<double> child_cost(children.size());
-    std::vector<char> keep(children.size(), 1);
-    for (size_t i = 0; i < children.size(); ++i) {
-      child_cost[i] = children[i].Cost(ctx.weights());
-      lower[i] = std::max(top.priority, child_cost[i]);
-      if (best.has_value() && lower[i] > best->distc + opts.cost_epsilon) {
-        keep[i] = 0;
-      }
-    }
-    evaluator.Speculate(children, keep, &stats);
-    for (size_t i = 0; i < children.size(); ++i) {
-      if (!keep[i]) continue;
-      pq.push({lower[i], child_cost[i], seq++, !astar,
-               std::move(children[i])});
-      ++stats.states_generated;
-    }
-  }
-
-  result.repair = std::move(best);
-  stats.seconds = timer.ElapsedSeconds();
-  return result;
+  // The open-list loop lives in the search engine (src/search/engine.cc)
+  // since the policy split; the default exact policy is bit-identical to
+  // the loop that used to live here.
+  return search::RunSearch(ctx, tau, opts);
 }
 
 ModifyFdsResult ModifyFds(const FDSet& sigma, const EncodedInstance& inst,

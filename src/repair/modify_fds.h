@@ -24,6 +24,7 @@
 #include "src/repair/evaluation.h"
 #include "src/repair/heuristic.h"
 #include "src/repair/state_space.h"
+#include "src/search/policy.h"
 
 namespace retrust {
 
@@ -37,6 +38,11 @@ enum class SearchMode {
 struct ModifyFdsOptions {
   SearchMode mode = SearchMode::kAStar;
   HeuristicOptions heuristic;
+  /// Which engine policy runs the open list (src/search/policy.h): exact
+  /// best-first (the default — bit-identical to the pre-engine ModifyFds),
+  /// weighted-A* anytime, or greedy descent. The weighting factor, δP-floor
+  /// pruning, and initial upper bound only apply to the non-exact policies.
+  search::PolicyOptions policy;
   /// Resolve cost ties among goal states by smaller δP (Definition 4's
   /// tie-break on distance to I). Costs within `cost_epsilon` tie.
   bool tie_break_delta = true;
@@ -89,6 +95,10 @@ struct ModifyFdsResult {
   std::optional<FdRepair> repair;  ///< empty when no goal state was reached
   SearchStats stats;
   SearchTermination termination = SearchTermination::kCompleted;
+  /// Incumbent trajectory: one point per time the best-so-far repair was
+  /// set or improved (every policy records it; only the anytime policy
+  /// typically has more than one point). Empty when no repair was found.
+  std::vector<search::IncumbentPoint> incumbents;
 };
 
 /// Precomputed, τ-independent context shared by searches over one (Σ, I):

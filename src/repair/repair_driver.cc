@@ -26,6 +26,7 @@ RepairOutcome RunRepair(const FdSearchContext& ctx,
   out.changed_cells = std::move(data.changed_cells);
   out.delta_p = fd_repair.delta_p;
   out.stats = search.stats;
+  out.incumbents = std::move(search.incumbents);
   outcome.repair = std::move(out);
   return outcome;
 }

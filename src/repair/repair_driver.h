@@ -33,6 +33,9 @@ struct Repair {
   std::vector<CellRef> changed_cells;  ///< Δd(I, I')
   int64_t delta_p = 0;               ///< δP(Σ', I) bound used by the search
   SearchStats stats;
+  /// FD-search incumbent trajectory (ModifyFdsResult::incumbents): the
+  /// anytime policy's quality-vs-time curve; a single point under exact.
+  std::vector<search::IncumbentPoint> incumbents;
 };
 
 /// Full outcome of Algorithm 1: the repair when one was found, plus the

@@ -77,20 +77,46 @@ struct SearchStateHash {
 struct SearchStats {
   int64_t states_visited = 0;    ///< states popped from the open list
   int64_t states_generated = 0;  ///< states pushed onto the open list
+  int64_t expansions = 0;        ///< states whose children were generated
   int64_t heuristic_calls = 0;   ///< gc() evaluations
   int64_t vc_computations = 0;   ///< approximate vertex covers computed
   /// Cover evaluations answered by the memoized evaluation layer instead
   /// of recomputed; vc_computations + vc_memo_hits is what the legacy
   /// (pre-memo) path counted as vc_computations.
   int64_t vc_memo_hits = 0;
+  /// Subtrees discarded because their δP floor (the engine's admissible
+  /// cover lower bound) already exceeded τ — anytime/greedy policies only.
+  int64_t lb_prunes = 0;
+  /// Times the anytime incumbent was set or improved (the length of
+  /// ModifyFdsResult::incumbents for a single search).
+  int64_t incumbent_improvements = 0;
+  /// Proven bound on repair.distc / optimal at the moment the search
+  /// stopped: 1 = proven cost-minimal, w = the anytime guarantee,
+  /// 0 = no claim (greedy, or no repair found).
+  double suboptimality_bound = 0.0;
+  /// Wall-clock until the FIRST τ-feasible repair was held (0 when none
+  /// was found) — the anytime policy's headline latency.
+  double first_repair_seconds = 0.0;
   double seconds = 0.0;          ///< wall-clock time
 
+  /// Sums the additive counters; the per-search bounds keep their WORST
+  /// value across the accumulated searches (max), so a sweep aggregate
+  /// never overstates quality or responsiveness.
   void Accumulate(const SearchStats& o) {
     states_visited += o.states_visited;
     states_generated += o.states_generated;
+    expansions += o.expansions;
     heuristic_calls += o.heuristic_calls;
     vc_computations += o.vc_computations;
     vc_memo_hits += o.vc_memo_hits;
+    lb_prunes += o.lb_prunes;
+    incumbent_improvements += o.incumbent_improvements;
+    if (o.suboptimality_bound > suboptimality_bound) {
+      suboptimality_bound = o.suboptimality_bound;
+    }
+    if (o.first_repair_seconds > first_repair_seconds) {
+      first_repair_seconds = o.first_repair_seconds;
+    }
     seconds += o.seconds;
   }
 };

@@ -1,0 +1,65 @@
+// Admissible δP lower bound for open states of the FD-modification search
+// (DESIGN.md "Search policies and lower bounds").
+//
+// The τ-constrained search wants to discard a state S — with its WHOLE
+// subtree — when every descendant Σ' provably keeps δP(Σ', I) > τ. The
+// bound exploits two structural facts:
+//
+//  1. Reachability is attribute-monotone. In the unique-parent search tree
+//     (state_space.h), a descendant of S only ever APPENDS attributes
+//     a >= max(∪ Y_i): smaller attributes were already decided on the path
+//     to S. So from S, FD i's extension can only grow within
+//     allowed(i) ∩ [maxattr(S), ∞).
+//
+//  2. A difference-set group g stops violating FD i only when Y_i gains an
+//     attribute of d_g. If some FD i with A_i ∈ d_g, X_i ∩ d_g = ∅ (the
+//     table's precomputed incidence) still has Y_i ∩ d_g = ∅ AND no
+//     reachable attribute can fix that (allowed(i) ∩ d_g ∩ [maxattr, ∞)
+//     = ∅), then group g stays violated in EVERY descendant of S — the
+//     group is DEAD under S.
+//
+// Every descendant therefore still carries all of S's dead groups, and
+// δP(Σ', I) = α·|C2opt| = α·2·|maximal matching| >= α·ν(E_dead)
+// >= α·|greedy matching(E_dead)| = α·CoverSize(dead)/2 — the last step
+// evaluated through the SAME memoized cover layer the δP pipeline uses
+// (cover values are pure functions of the group bitset, so lower-bound
+// queries and δP queries share one cache). DeltaPFloor(S) > τ ⟹ no goal
+// state descends from S.
+
+#ifndef RETRUST_SEARCH_BOUND_H_
+#define RETRUST_SEARCH_BOUND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/group_bitset.h"
+#include "src/repair/modify_fds.h"
+
+namespace retrust::search {
+
+/// Per-search evaluator of the δP floor. Cheap to construct (borrows the
+/// context's violation table and cover memo); owns mutable scratch, so one
+/// instance serves ONE search loop — concurrent searches each build their
+/// own, all sharing the context's memo underneath.
+class CoverLowerBound {
+ public:
+  explicit CoverLowerBound(const FdSearchContext& ctx);
+
+  /// Admissible lower bound on δP(Σ', I) over s and every tree descendant
+  /// of s. Memo hits/misses of the underlying cover query are counted in
+  /// `stats` like any other cover evaluation (nullable).
+  int64_t DeltaPFloor(const SearchState& s, SearchStats* stats);
+
+  /// The dead-group count of the last DeltaPFloor call (observability).
+  int last_dead_groups() const { return last_dead_groups_; }
+
+ private:
+  const FdSearchContext& ctx_;
+  std::vector<uint64_t> allowed_bits_;  ///< per FD: allowed(i) attr mask
+  GroupBitset dead_;                    ///< scratch: dead groups under s
+  int last_dead_groups_ = 0;
+};
+
+}  // namespace retrust::search
+
+#endif  // RETRUST_SEARCH_BOUND_H_

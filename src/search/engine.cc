@@ -1,0 +1,380 @@
+#include "src/search/engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+
+#include "src/exec/thread_pool.h"
+#include "src/search/bound.h"
+#include "src/util/timer.h"
+
+namespace retrust::search {
+
+namespace {
+
+// Open-list entry. gc evaluation is LAZY: children are pushed with their
+// parent's priority as a lower bound (gc is monotone along tree edges —
+// a child's descendants are a subset of its parent's) and get their own
+// gc computed only when they reach the top of the heap. This cuts gc
+// evaluations from O(states generated) to O(states visited).
+//
+// `priority` is the policy's ORDER KEY: f = max(gc, cost) for exact,
+// cost + w·(f − cost) for anytime, f − cost for greedy. Lazy entries hold
+// a lower bound of their true key (every key form is monotone in f, so a
+// lower bound of f maps to a lower bound of the key); `evaluated` marks
+// keys that are final.
+struct OpenEntry {
+  double priority;   // policy order key; a lower bound until `evaluated`
+  double cost;       // cost(S), for tie-breaking
+  int64_t seq;       // FIFO tie-break for determinism
+  bool evaluated;    // true once priority is the entry's exact key
+  SearchState state;
+
+  bool operator<(const OpenEntry& o) const {
+    // std::priority_queue is a max-heap; invert.
+    if (priority != o.priority) return priority > o.priority;
+    if (cost != o.cost) return cost > o.cost;
+    return seq > o.seq;
+  }
+};
+
+// Speculative successor evaluator for the parallel engine.
+//
+// gc(S) and |C2opt(S)| are pure functions of (state, τ), so evaluating
+// them EARLY — at expansion time, for a popped state's LHS-extensions
+// concurrently, each child on pooled scratch owned by the context's
+// evaluation layer — and handing the memoized values to the unmodified
+// lazy search loop later produces the exact serial visit order and result
+// for any thread count. Speculation trades extra evaluations (children
+// that never reach the top of the heap) for wall-clock parallelism; the
+// serial path (no pool) skips it entirely and keeps the lazy O(visited)
+// evaluation count.
+class SuccessorEvaluator {
+ public:
+  SuccessorEvaluator(const FdSearchContext& ctx, int64_t tau, bool astar,
+                     exec::ThreadPool* pool)
+      : ctx_(ctx), tau_(tau), astar_(astar), pool_(pool) {}
+
+  bool active() const { return pool_ != nullptr; }
+
+  /// Evaluates gc (A*) and δP of the flagged children concurrently and
+  /// memoizes the values. Stats of the evaluations are merged into `stats`
+  /// in child order (deterministic totals).
+  void Speculate(const std::vector<SearchState>& children,
+                 const std::vector<char>& keep, SearchStats* stats) {
+    if (!active() || children.empty()) return;
+    std::vector<Entry> results(children.size());
+    exec::TaskGroup group(pool_);
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (!keep[i]) continue;
+      const SearchState& child = children[i];
+      Entry* out = &results[i];
+      group.Run([this, &child, out] {
+        if (astar_) {
+          out->gc = ctx_.heuristic().Compute(child, tau_, &out->stats);
+          if (out->gc == GcHeuristic::kInfinity) return;  // never visited
+        }
+        out->cover = ctx_.CoverSize(child, &out->stats);
+      });
+    }
+    group.Wait();
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (!keep[i]) continue;
+      stats->Accumulate(results[i].stats);
+      results[i].stats = SearchStats{};
+      cache_.emplace(children[i], results[i]);
+    }
+  }
+
+  /// gc(s): memoized value if speculated, computed inline otherwise.
+  double Gc(const SearchState& s, SearchStats* stats) {
+    auto it = cache_.find(s);
+    if (it != cache_.end()) {
+      double gc = it->second.gc;
+      if (gc == GcHeuristic::kInfinity) cache_.erase(it);  // discarded next
+      return gc;
+    }
+    return ctx_.heuristic().Compute(s, tau_, stats);
+  }
+
+  /// |C2opt(s)|: memoized value if speculated, computed inline otherwise.
+  int64_t Cover(const SearchState& s, SearchStats* stats) {
+    auto it = cache_.find(s);
+    if (it != cache_.end() && it->second.cover >= 0) {
+      int64_t cover = it->second.cover;
+      cache_.erase(it);  // a state is visited at most once
+      return cover;
+    }
+    return ctx_.CoverSize(s, stats);
+  }
+
+ private:
+  struct Entry {
+    double gc = 0.0;
+    int64_t cover = -1;
+    SearchStats stats;
+  };
+
+  const FdSearchContext& ctx_;
+  int64_t tau_;
+  bool astar_;
+  exec::ThreadPool* pool_;
+  std::unordered_map<SearchState, Entry, SearchStateHash> cache_;
+};
+
+}  // namespace
+
+ModifyFdsResult RunSearch(const FdSearchContext& ctx, int64_t tau,
+                          const ModifyFdsOptions& opts) {
+  Timer timer;
+  ModifyFdsResult result;
+  SearchStats& stats = result.stats;
+  const bool astar = opts.mode == SearchMode::kAStar;
+  const SearchPolicy policy = opts.policy.policy;
+  const bool exact = policy == SearchPolicy::kExact;
+  const bool anytime = policy == SearchPolicy::kAnytime;
+  const bool greedy = policy == SearchPolicy::kGreedy;
+  const double w =
+      anytime ? std::max(1.0, opts.policy.weighting_factor) : 1.0;
+  const double eps = opts.cost_epsilon;
+
+  // Order key from an estimate f = max(gc, cost) and the state cost. The
+  // exact path NEVER goes through this function: it keeps the original
+  // max(gc, cost) expression verbatim, because cost + w·(f − cost) with
+  // w = 1 is not the same double as f and would break bit-identity with
+  // the pre-engine loop.
+  auto key_of = [&](double f, double cost) {
+    return greedy ? f - cost : cost + w * (f - cost);
+  };
+
+  std::unique_ptr<exec::ThreadPool> pool = exec::MakePool(opts.exec);
+  SuccessorEvaluator evaluator(ctx, tau, astar, pool.get());
+  std::unique_ptr<CoverLowerBound> lb;
+  if (!exact) lb = std::make_unique<CoverLowerBound>(ctx);
+
+  // Cost cap for the non-exact policies: a state (or child) costlier than
+  // this cannot become a repair worth keeping. Starts at the caller's
+  // initial_upper_bound, if any; the incumbent check below is separate
+  // (strict improvement) and uses best->distc directly.
+  double cost_ub = std::numeric_limits<double>::infinity();
+  if (!exact && opts.policy.initial_upper_bound > 0) {
+    cost_ub = opts.policy.initial_upper_bound;
+  }
+
+  std::priority_queue<OpenEntry> pq;
+  int64_t seq = 0;
+  SearchState root = SearchState::Root(ctx.sigma().size());
+  if (exact) {
+    pq.push({root.Cost(ctx.weights()), root.Cost(ctx.weights()), seq++,
+             !astar, root});
+  } else {
+    // key_of(cost, cost) is a valid lower bound of the root's true key
+    // for both non-exact forms (f >= cost always).
+    const double root_cost = root.Cost(ctx.weights());
+    pq.push({key_of(root_cost, root_cost), root_cost, seq++, !astar, root});
+  }
+  ++stats.states_generated;
+
+  std::optional<FdRepair> best;
+  auto record_incumbent = [&] {
+    const double now = timer.ElapsedSeconds();
+    if (result.incumbents.empty()) stats.first_repair_seconds = now;
+    result.incumbents.push_back(
+        {now, best->distc, best->delta_p, stats.states_visited});
+    ++stats.incumbent_improvements;
+  };
+
+  while (!pq.empty()) {
+    // Interruption checks, once per popped state. Cancellation and deadlines
+    // are timing-dependent by nature; the default options leave both off and
+    // keep the search fully deterministic.
+    if (opts.cancel != nullptr && opts.cancel->Cancelled()) {
+      result.termination = SearchTermination::kCancelled;
+      break;
+    }
+    if (opts.deadline_seconds > 0 &&
+        timer.ElapsedSeconds() > opts.deadline_seconds) {
+      result.termination = SearchTermination::kDeadline;
+      break;
+    }
+
+    // Anytime optimality closure: every open entry's stored key lower-
+    // bounds its true key c + w·(f − c), and any goal in its subtree costs
+    // at least f >= key / w. Once the cheapest open key says no subtree
+    // can beat the incumbent, the incumbent is proven cost-optimal.
+    if (anytime && best.has_value() &&
+        pq.top().priority / w >= best->distc - eps) {
+      break;  // termination stays kCompleted; bound 1.0 below
+    }
+
+    OpenEntry top = pq.top();
+    pq.pop();
+
+    if (!top.evaluated) {
+      // Deferred gc evaluation (A* only); memoized when speculated.
+      double gc = evaluator.Gc(top.state, &stats);
+      if (gc == GcHeuristic::kInfinity) continue;  // no goal below here
+      if (exact) {
+        top.priority = std::max(gc, top.cost);
+      } else {
+        top.priority = key_of(std::max(gc, top.cost), top.cost);
+      }
+      top.evaluated = true;
+      if (!pq.empty() && pq.top().priority < top.priority) {
+        pq.push(std::move(top));  // someone else is cheaper now
+        continue;
+      }
+    }
+
+    ++stats.states_visited;
+    if (opts.max_visited > 0 && stats.states_visited > opts.max_visited) {
+      result.termination = SearchTermination::kVisitBudget;
+      // Re-open the popped entry so the suboptimality floor below still
+      // accounts for its subtree (no counter moves; the loop is over).
+      pq.push(std::move(top));
+      break;
+    }
+
+    if (exact) {
+      // Once a goal is known, states that cannot beat (or tie) it are done.
+      if (best.has_value()) {
+        bool can_tie = opts.tie_break_delta &&
+                       top.cost <= best->distc + opts.cost_epsilon;
+        if (top.priority > best->distc + opts.cost_epsilon) break;
+        if (!can_tie && top.cost > best->distc + opts.cost_epsilon) continue;
+      }
+    } else {
+      // Anytime/greedy discard states that cannot strictly improve on the
+      // incumbent (anytime forgoes exact's equal-cost δP tie-break scan)
+      // or that bust the caller's initial upper bound. Subtree costs are
+      // monotone, so a discarded state's descendants need no look either —
+      // but they were pushed before the incumbent existed, hence the
+      // re-check here at pop time.
+      if (best.has_value() && top.cost > best->distc - eps) continue;
+      if (top.cost > cost_ub + eps) continue;
+
+      // Admissible δP floor: if even the matching over this state's DEAD
+      // groups keeps δP above τ for every descendant, the whole subtree
+      // is goal-free.
+      if (lb->DeltaPFloor(top.state, &stats) > tau) {
+        ++stats.lb_prunes;
+        continue;
+      }
+    }
+
+    int64_t cover = evaluator.Cover(top.state, &stats);
+    int64_t delta_p = ctx.alpha() * cover;
+    if (delta_p <= tau) {
+      // Goal state.
+      double cost = top.state.Cost(ctx.weights());
+      if (exact) {
+        if (!best.has_value()) {
+          best = FdRepair{top.state, top.state.Apply(ctx.sigma()), cost,
+                          cover, delta_p};
+          record_incumbent();
+          if (!opts.tie_break_delta) break;
+          continue;  // keep scanning for equal-cost goals with smaller δP
+        }
+        if (cost <= best->distc + opts.cost_epsilon &&
+            delta_p < best->delta_p) {
+          best = FdRepair{top.state, top.state.Apply(ctx.sigma()), cost,
+                          cover, delta_p};
+          record_incumbent();
+        }
+        continue;  // children of a goal state only cost more
+      }
+      // Anytime/greedy incumbent rule: keep the strictly cheaper repair,
+      // or the smaller δP at (epsilon-)equal cost.
+      if (!best.has_value() || cost < best->distc - eps ||
+          (cost <= best->distc + eps && delta_p < best->delta_p)) {
+        best = FdRepair{top.state, top.state.Apply(ctx.sigma()), cost,
+                        cover, delta_p};
+        record_incumbent();
+      }
+      if (greedy) break;  // first goal wins; no optimality claim
+      continue;           // anytime: keep refining toward optimal
+    }
+
+    // Expand. Children inherit the parent's priority as a lower bound;
+    // the ones surviving the bound check are (optionally) evaluated
+    // speculatively in parallel before being pushed in canonical order.
+    ++stats.expansions;
+    std::vector<SearchState> children = ctx.space().Children(top.state);
+    std::vector<double> lower(children.size());
+    std::vector<double> child_cost(children.size());
+    std::vector<char> keep(children.size(), 1);
+    if (exact) {
+      for (size_t i = 0; i < children.size(); ++i) {
+        child_cost[i] = children[i].Cost(ctx.weights());
+        lower[i] = std::max(top.priority, child_cost[i]);
+        if (best.has_value() &&
+            lower[i] > best->distc + opts.cost_epsilon) {
+          keep[i] = 0;
+        }
+      }
+    } else {
+      // Recover the parent's estimate f from its key (exact inverse of
+      // key_of), bound each child's f from below by max(f_parent, cost) —
+      // f is monotone along tree edges — and key the child by that bound.
+      const double f_parent =
+          greedy ? top.priority + top.cost
+                 : top.cost + (top.priority - top.cost) / w;
+      for (size_t i = 0; i < children.size(); ++i) {
+        child_cost[i] = children[i].Cost(ctx.weights());
+        const double f_low = std::max(f_parent, child_cost[i]);
+        lower[i] = key_of(f_low, child_cost[i]);
+        // f lower-bounds every goal cost in the child's subtree, so a
+        // child whose floor cannot strictly beat the incumbent — or whose
+        // own cost busts the initial upper bound — is dead on arrival.
+        if (best.has_value() && f_low > best->distc - eps) keep[i] = 0;
+        if (child_cost[i] > cost_ub + eps) keep[i] = 0;
+      }
+    }
+    evaluator.Speculate(children, keep, &stats);
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (!keep[i]) continue;
+      pq.push({lower[i], child_cost[i], seq++, !astar,
+               std::move(children[i])});
+      ++stats.states_generated;
+    }
+  }
+
+  result.repair = std::move(best);
+  stats.seconds = timer.ElapsedSeconds();
+
+  // Proven suboptimality bound at the moment the search stopped.
+  if (result.repair.has_value()) {
+    if (greedy) {
+      stats.suboptimality_bound = 0.0;  // no claim
+    } else if (result.termination == SearchTermination::kCompleted) {
+      // Open list exhausted, exact's bound break, or anytime's closure:
+      // nothing left can beat the repair.
+      stats.suboptimality_bound = 1.0;
+    } else {
+      // Interrupted with an incumbent in hand. Every unexplored state
+      // descends from an open entry (interruption re-opened the in-flight
+      // pop above), and each open subtree's goals cost >= stored key / w,
+      // so distc / (cheapest open key / w) bounds distc / optimal.
+      const double floor = pq.empty()
+                               ? result.repair->distc
+                               : std::min(result.repair->distc,
+                                          pq.top().priority / w);
+      if (floor > eps) {
+        stats.suboptimality_bound =
+            std::max(1.0, result.repair->distc / floor);
+        if (anytime) {
+          // The weighted-A* first-goal guarantee holds independently.
+          stats.suboptimality_bound =
+              std::min(stats.suboptimality_bound, w);
+        }
+      } else if (anytime) {
+        stats.suboptimality_bound = w;
+      }  // exact interrupted with floor 0: no finite claim — leave 0.
+    }
+  }
+  return result;
+}
+
+}  // namespace retrust::search

@@ -246,12 +246,25 @@ ServerStats Server::Stats() const {
   stats.expired_in_queue = expired_.load();
   stats.completed = completed_.load();
   admission_.Snapshot(&stats);
+  stats.search_expansions = search_expansions_.load();
+  stats.search_lb_prunes = search_lb_prunes_.load();
+  stats.search_incumbent_improvements = search_incumbents_.load();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats.p50_latency_seconds = latency_.Percentile(0.5);
     stats.p99_latency_seconds = latency_.Percentile(0.99);
   }
   return stats;
+}
+
+void Server::RecordSearchStats(const SearchStats& stats) {
+  search_expansions_.fetch_add(static_cast<uint64_t>(stats.expansions),
+                               std::memory_order_relaxed);
+  search_lb_prunes_.fetch_add(static_cast<uint64_t>(stats.lb_prunes),
+                              std::memory_order_relaxed);
+  search_incumbents_.fetch_add(
+      static_cast<uint64_t>(stats.incumbent_improvements),
+      std::memory_order_relaxed);
 }
 
 Result<TenantStats> Server::TenantStatsFor(const std::string& name) const {
@@ -305,11 +318,13 @@ Submitted<Result<RepairResponse>> Client::Repair(const std::string& tenant,
   }
   return server_->Submit<Result<RepairResponse>>(
       tenant, /*is_write=*/false, req.deadline_seconds,
-      [req](Session& session, PendingRequest& pending) {
+      [req, server = server_](Session& session, PendingRequest& pending) {
         RepairRequest r = req;
         r.deadline_seconds = pending.RemainingDeadline();
         r.cancel = &pending.cancel;
-        return session.Repair(r);
+        Result<RepairResponse> response = session.Repair(r);
+        if (response.ok()) server->RecordSearchStats(response->repair.stats);
+        return response;
       },
       FailAsResult<RepairResponse>());
 }
@@ -321,11 +336,13 @@ Submitted<Result<SearchProbe>> Client::Search(const std::string& tenant,
   }
   return server_->Submit<Result<SearchProbe>>(
       tenant, /*is_write=*/false, req.deadline_seconds,
-      [req](Session& session, PendingRequest& pending) {
+      [req, server = server_](Session& session, PendingRequest& pending) {
         RepairRequest r = req;
         r.deadline_seconds = pending.RemainingDeadline();
         r.cancel = &pending.cancel;
-        return session.Search(r);
+        Result<SearchProbe> probe = session.Search(r);
+        if (probe.ok()) server->RecordSearchStats(probe->result.stats);
+        return probe;
       },
       FailAsResult<SearchProbe>());
 }
@@ -335,10 +352,16 @@ Submitted<std::vector<Result<RepairResponse>>> Client::Sweep(
   const size_t n = reqs.size();
   return server_->Submit<std::vector<Result<RepairResponse>>>(
       tenant, /*is_write=*/false, /*deadline_seconds=*/0.0,
-      [reqs = std::move(reqs)](Session& session, PendingRequest& pending) {
+      [reqs = std::move(reqs), server = server_](Session& session,
+                                                 PendingRequest& pending) {
         std::vector<RepairRequest> wired = reqs;
         for (RepairRequest& r : wired) r.cancel = &pending.cancel;
-        return session.RepairMany(wired);
+        std::vector<Result<RepairResponse>> replies =
+            session.RepairMany(wired);
+        for (const Result<RepairResponse>& reply : replies) {
+          if (reply.ok()) server->RecordSearchStats(reply->repair.stats);
+        }
+        return replies;
       },
       [n](const Status& status) {
         std::vector<Result<RepairResponse>> replies;

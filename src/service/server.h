@@ -203,6 +203,11 @@ class Server {
   bool Cancel(uint64_t id);
   void WorkerLoop();
 
+  /// Folds one executed search's counters into the server-wide aggregates
+  /// (ServerStats::search_*). Called by the verb lambdas on the worker
+  /// threads — lock-free atomics, no stats_mu_.
+  void RecordSearchStats(const SearchStats& stats);
+
   ServerOptions opts_;
   /// Shared session pool (sweeps + deltas of ALL tenants); null when
   /// session_threads <= 1. Declared before tenants_/queue_ so it outlives
@@ -217,6 +222,9 @@ class Server {
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> expired_{0};
   std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> search_expansions_{0};
+  std::atomic<uint64_t> search_lb_prunes_{0};
+  std::atomic<uint64_t> search_incumbents_{0};
 
   mutable std::mutex stats_mu_;  ///< live_, latency_, completed_by_tenant_
   std::map<uint64_t, std::shared_ptr<PendingRequest>> live_;

@@ -90,6 +90,12 @@ struct ServerStats {
   double p50_latency_seconds = 0.0;  ///< submit -> reply, executed requests
   double p99_latency_seconds = 0.0;
 
+  // Search-engine aggregates across every repair/search/sweep executed by
+  // this server (src/search/engine.cc counters, summed per request).
+  uint64_t search_expansions = 0;
+  uint64_t search_lb_prunes = 0;
+  uint64_t search_incumbent_improvements = 0;
+
   uint64_t rejected() const {
     return rejected_queue_full + rejected_tenant_cap + rejected_deadline;
   }

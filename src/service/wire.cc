@@ -366,6 +366,24 @@ Result<RepairRequest> RepairRequestFromJson(const Json& obj) {
                        "' (astar|best_first)");
     }
   }
+  if (const Json* policy = obj.Get("policy")) {
+    if (!policy->is_string() ||
+        !search::ParseSearchPolicy(policy->AsString(), &req.policy)) {
+      return WireError("unknown policy (exact|anytime|greedy)");
+    }
+  }
+  if (const Json* weight = obj.Get("weight")) {
+    if (!weight->is_number() || weight->AsNumber() < 1.0) {
+      return WireError("'weight' must be a number >= 1");
+    }
+    req.weight = weight->AsNumber();
+  }
+  if (const Json* ub = obj.Get("upper_bound")) {
+    if (!ub->is_number() || ub->AsNumber() < 0.0) {
+      return WireError("'upper_bound' must be a non-negative number");
+    }
+    req.upper_bound = ub->AsNumber();
+  }
   if (const Json* seed = obj.Get("seed")) {
     if (!seed->is_number()) return WireError("'seed' must be a number");
     req.seed = static_cast<uint64_t>(seed->AsInt());
@@ -514,6 +532,23 @@ Json ToJson(const SearchProbe& probe) {
     obj["delta_p"] = Json(probe.result.repair->delta_p);
   }
   obj["states_visited"] = Json(probe.result.stats.states_visited);
+  obj["states_generated"] = Json(probe.result.stats.states_generated);
+  obj["expansions"] = Json(probe.result.stats.expansions);
+  obj["lb_prunes"] = Json(probe.result.stats.lb_prunes);
+  obj["incumbent_improvements"] =
+      Json(probe.result.stats.incumbent_improvements);
+  obj["suboptimality_bound"] = Json(probe.result.stats.suboptimality_bound);
+  obj["first_repair_seconds"] = Json(probe.result.stats.first_repair_seconds);
+  Json::Array incumbents;
+  for (const search::IncumbentPoint& p : probe.result.incumbents) {
+    Json::Object point;
+    point["seconds"] = Json(p.seconds);
+    point["distc"] = Json(p.distc);
+    point["delta_p"] = Json(p.delta_p);
+    point["states_visited"] = Json(p.states_visited);
+    incumbents.push_back(Json(std::move(point)));
+  }
+  obj["incumbents"] = Json(std::move(incumbents));
   obj["termination"] = Json(TerminationName(probe.result.termination));
   obj["seconds"] = Json(probe.seconds);
   return Json(std::move(obj));
@@ -551,6 +586,10 @@ Json ToJson(const ServerStats& stats) {
   obj["rejected"] = Json(stats.rejected());
   obj["p50_latency_seconds"] = Json(stats.p50_latency_seconds);
   obj["p99_latency_seconds"] = Json(stats.p99_latency_seconds);
+  obj["search_expansions"] = Json(static_cast<int64_t>(stats.search_expansions));
+  obj["search_lb_prunes"] = Json(static_cast<int64_t>(stats.search_lb_prunes));
+  obj["search_incumbent_improvements"] =
+      Json(static_cast<int64_t>(stats.search_incumbent_improvements));
   return Json(std::move(obj));
 }
 
