@@ -19,6 +19,15 @@ assert the restored tenant answers the SAME repair requests with
 bit-identical responses (modulo wall-clock "seconds"). Also exercises
 unload_tenant: an unloaded tenant's next request transparently reloads it
 and still answers identically.
+
+Finally the pipelined-wire phase (a fresh server): hundreds of concurrent
+connections each pipeline a burst of requests — all sent before any reply
+is read — across mixed tenants. Asserts every reply is ok, every reply is
+matched back to its request by the echoed id (replies may arrive out of
+order), and ZERO requests were rejected under capacity. Then quota
+fairness: a token-bucket-throttled tenant is flooded and sheds requests
+with Overloaded errors, while a quiet unlimited tenant's concurrent
+requests all succeed — one tenant's rejections never starve another.
 """
 
 import json
@@ -226,7 +235,128 @@ def main():
         ctl.close()
         proc.wait(timeout=30)
         assert proc.returncode == 0, f"server exit {proc.returncode}"
-        print("service smoke (incl. warm restart): OK")
+
+        # --- pipelined-wire + quota phase -------------------------------
+        proc, port = start_server(server_bin, [])
+        ctl = Conn(port)
+        for tenant, path in (("hosp", csv_a), ("census", csv_b)):
+            r = ctl.rpc({"op": "load_tenant", "tenant": tenant, "csv": path,
+                         "fds": ["City->Zip"]})
+            assert r.get("ok"), f"load_tenant {tenant}: {r}"
+
+        # Hundreds of concurrent connections, each pipelining a burst of
+        # repairs over mixed tenants: every request goes out before any
+        # reply is read, so replies interleave freely and only the echoed
+        # id correlates them.
+        num_conns, burst = 200, 4
+        errors = []
+
+        def pipeline_conn(conn_index):
+            try:
+                tenant = ("hosp", "census")[conn_index % 2]
+                conn = Conn(port)
+                ids = [conn_index * 1000 + j for j in range(burst)]
+                lines = "".join(
+                    json.dumps({"op": "repair", "tenant": tenant,
+                                "tau_r": [0.25, 0.5, 1.0][j % 3],
+                                "seed": j + 1, "id": ids[j]}) + "\n"
+                    for j in range(burst))
+                conn.file.write(lines)
+                conn.file.flush()
+                replies = {}
+                for _ in range(burst):
+                    reply = json.loads(conn.file.readline())
+                    replies[reply.get("id")] = reply
+                if sorted(replies) != ids:
+                    errors.append(f"conn {conn_index}: id mismatch "
+                                  f"{sorted(replies)} != {ids}")
+                for i, reply in replies.items():
+                    if not reply.get("ok"):
+                        errors.append(f"conn {conn_index} id {i}: {reply}")
+                conn.close()
+            except Exception as e:  # noqa: BLE001
+                errors.append(f"conn {conn_index}: {type(e).__name__}: {e}")
+
+        threads = [threading.Thread(target=pipeline_conn, args=(i,))
+                   for i in range(num_conns)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert not errors, "\n".join(errors[:10])
+        stats = ctl.rpc({"op": "stats"})
+        assert stats.get("ok"), stats
+        assert stats["rejected"] == 0, \
+            f"pipelined workload under capacity was shed: {stats}"
+        assert stats["completed"] >= num_conns * burst, stats
+        print(f"pipelined phase: {num_conns} connections x {burst} requests "
+              f"ok (p99 {stats['p99_latency_seconds'] * 1e3:.2f}ms)")
+
+        # Quota fairness: "throttled" gets a tiny token bucket and is
+        # flooded; "hosp" stays unlimited and runs concurrently. The
+        # throttled tenant must shed with Overloaded (synchronously — the
+        # rejects never enter the queue), the quiet tenant must see every
+        # request succeed.
+        r = ctl.rpc({"op": "load_tenant", "tenant": "throttled",
+                     "csv": csv_b, "fds": ["City->Zip"],
+                     "quota_rate": 1.0, "quota_burst": 2})
+        assert r.get("ok"), r
+        flood_outcomes = []
+
+        def flood():
+            try:
+                conn = Conn(port)
+                n = 30
+                conn.file.write("".join(
+                    json.dumps({"op": "repair", "tenant": "throttled",
+                                "tau_r": 0.5, "seed": 1, "id": j}) + "\n"
+                    for j in range(n)))
+                conn.file.flush()
+                for _ in range(n):
+                    flood_outcomes.append(json.loads(conn.file.readline()))
+                conn.close()
+            except Exception as e:  # noqa: BLE001
+                errors.append(f"flood: {type(e).__name__}: {e}")
+
+        def quiet():
+            try:
+                conn = Conn(port)
+                for j in range(10):
+                    reply = conn.rpc({"op": "repair", "tenant": "hosp",
+                                      "tau_r": 1.0, "seed": j + 1})
+                    if not reply.get("ok"):
+                        errors.append(f"quiet request {j} failed: {reply}")
+                conn.close()
+            except Exception as e:  # noqa: BLE001
+                errors.append(f"quiet: {type(e).__name__}: {e}")
+
+        flood_thread = threading.Thread(target=flood)
+        quiet_thread = threading.Thread(target=quiet)
+        flood_thread.start()
+        quiet_thread.start()
+        flood_thread.join(timeout=300)
+        quiet_thread.join(timeout=300)
+        assert not errors, "\n".join(errors[:10])
+        served = sum(1 for r in flood_outcomes if r.get("ok"))
+        shed = sum(1 for r in flood_outcomes
+                   if not r.get("ok") and r.get("error") == "overloaded")
+        assert served >= 1, f"burst tokens never admitted: {flood_outcomes[:3]}"
+        assert shed >= 20, f"flood was not throttled: served={served} " \
+                           f"shed={shed}"
+        assert served + shed == len(flood_outcomes), flood_outcomes[:3]
+        stats = ctl.rpc({"op": "stats"})
+        assert stats["rejected_quota"] == shed, stats
+        assert stats["rejected"] == stats["rejected_quota"], \
+            f"non-quota rejections leaked into the quiet tenant: {stats}"
+        print(f"quota phase: throttled served={served} shed={shed}, "
+              f"quiet tenant all ok")
+
+        r = ctl.rpc({"op": "shutdown"})
+        assert r.get("ok"), r
+        ctl.close()
+        proc.wait(timeout=30)
+        assert proc.returncode == 0, f"server exit {proc.returncode}"
+        print("service smoke (incl. warm restart + pipelined wire): OK")
         return 0
     finally:
         if proc.poll() is None:

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "src/util/timer.h"
 
@@ -27,27 +28,94 @@ void Sweep::CheckVersion(const char* when) const {
   }
 }
 
+namespace {
+
+/// Greedy jobs of a mixed sweep run as a FIRST wave so their incumbents
+/// can seed the expensive jobs' pruning. Monotonicity argument: a repair
+/// feasible at τ_g is feasible at every τ ≥ τ_g (the data-side budget only
+/// loosens), so the cheapest greedy distc over jobs with τ_g ≤ τ upper-
+/// bounds the optimal distc at τ. The engine prunes only STRICTLY above
+/// the cap (engine.cc), so the seeded job can still reach every repair
+/// costing ≤ the seed — including the optimum — and exact jobs ignore
+/// `initial_upper_bound` entirely, so their results cannot change.
+bool IsGreedy(const ModifyFdsOptions& opts) {
+  return opts.policy.policy == search::SearchPolicy::kGreedy;
+}
+
+/// Best (smallest) admissible seed for a job at `tau`: the min distc over
+/// wave-one repairs found at τ_g ≤ tau. 0 = no seed.
+double SeedFor(int64_t tau, const std::vector<std::pair<int64_t, double>>&
+                                greedy_incumbents) {
+  double seed = 0.0;
+  for (const auto& [tau_g, distc] : greedy_incumbents) {
+    if (tau_g > tau) continue;
+    if (seed <= 0.0 || distc < seed) seed = distc;
+  }
+  return seed;
+}
+
+void ApplySeed(ModifyFdsOptions* opts, double seed) {
+  if (seed <= 0.0) return;
+  double& ub = opts->policy.initial_upper_bound;
+  if (ub <= 0.0 || seed < ub) ub = seed;
+}
+
+}  // namespace
+
 std::vector<SweepOutcome> Sweep::RunRepairs(
     const std::vector<SweepJob>& jobs) const {
   CheckVersion("start");
   std::vector<SweepOutcome> outcomes(jobs.size());
-  TaskGroup group(pool());
+
+  std::vector<size_t> greedy_idx, other_idx;
   for (size_t i = 0; i < jobs.size(); ++i) {
-    group.Run([this, &jobs, &outcomes, i] {
-      const SweepJob& job = jobs[i];
-      RepairOptions opts = job.opts;
-      opts.search.exec = Options{};  // jobs are the unit of parallelism
-      Timer timer;
-      SweepOutcome& out = outcomes[i];
-      out.tau = job.tau;
-      RepairOutcome run = RunRepair(ctx_, inst_, job.tau, opts);
-      out.repair = std::move(run.repair);
-      out.stats = run.stats;
-      out.termination = run.termination;
-      out.seconds = timer.ElapsedSeconds();
-    });
+    (IsGreedy(jobs[i].opts.search) ? greedy_idx : other_idx).push_back(i);
   }
-  group.Wait();
+
+  auto run_wave = [&](const std::vector<size_t>& wave,
+                      const std::vector<double>& seeds) {
+    TaskGroup group(pool());
+    for (size_t k = 0; k < wave.size(); ++k) {
+      const size_t i = wave[k];
+      const double seed = seeds.empty() ? 0.0 : seeds[k];
+      group.Run([this, &jobs, &outcomes, i, seed] {
+        const SweepJob& job = jobs[i];
+        RepairOptions opts = job.opts;
+        opts.search.exec = Options{};  // jobs are the unit of parallelism
+        ApplySeed(&opts.search, seed);
+        Timer timer;
+        SweepOutcome& out = outcomes[i];
+        out.tau = job.tau;
+        RepairOutcome run = RunRepair(ctx_, inst_, job.tau, opts);
+        out.repair = std::move(run.repair);
+        out.stats = run.stats;
+        out.termination = run.termination;
+        out.seconds = timer.ElapsedSeconds();
+      });
+    }
+    group.Wait();
+  };
+
+  if (greedy_idx.empty() || other_idx.empty()) {
+    // Uniform-policy sweep: one wave, exactly the pre-seeding behavior.
+    std::vector<size_t> all(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) all[i] = i;
+    run_wave(all, {});
+  } else {
+    run_wave(greedy_idx, {});
+    std::vector<std::pair<int64_t, double>> incumbents;
+    for (size_t i : greedy_idx) {
+      if (outcomes[i].repair.has_value()) {
+        incumbents.emplace_back(jobs[i].tau, outcomes[i].repair->distc);
+      }
+    }
+    std::vector<double> seeds(other_idx.size());
+    for (size_t k = 0; k < other_idx.size(); ++k) {
+      seeds[k] = SeedFor(jobs[other_idx[k]].tau, incumbents);
+    }
+    run_wave(other_idx, seeds);
+  }
+
   CheckVersion("finish");
   return outcomes;
 }
@@ -66,15 +134,47 @@ std::vector<ModifyFdsResult> Sweep::RunSearches(
     const std::vector<SearchJob>& jobs) const {
   CheckVersion("start");
   std::vector<ModifyFdsResult> results(jobs.size());
-  TaskGroup group(pool());
+
+  std::vector<size_t> greedy_idx, other_idx;
   for (size_t i = 0; i < jobs.size(); ++i) {
-    group.Run([this, &jobs, &results, i] {
-      ModifyFdsOptions opts = jobs[i].opts;
-      opts.exec = Options{};  // jobs are the unit of parallelism
-      results[i] = ModifyFds(ctx_, jobs[i].tau, opts);
-    });
+    (IsGreedy(jobs[i].opts) ? greedy_idx : other_idx).push_back(i);
   }
-  group.Wait();
+
+  auto run_wave = [&](const std::vector<size_t>& wave,
+                      const std::vector<double>& seeds) {
+    TaskGroup group(pool());
+    for (size_t k = 0; k < wave.size(); ++k) {
+      const size_t i = wave[k];
+      const double seed = seeds.empty() ? 0.0 : seeds[k];
+      group.Run([this, &jobs, &results, i, seed] {
+        ModifyFdsOptions opts = jobs[i].opts;
+        opts.exec = Options{};  // jobs are the unit of parallelism
+        ApplySeed(&opts, seed);
+        results[i] = ModifyFds(ctx_, jobs[i].tau, opts);
+      });
+    }
+    group.Wait();
+  };
+
+  if (greedy_idx.empty() || other_idx.empty()) {
+    std::vector<size_t> all(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) all[i] = i;
+    run_wave(all, {});
+  } else {
+    run_wave(greedy_idx, {});
+    std::vector<std::pair<int64_t, double>> incumbents;
+    for (size_t i : greedy_idx) {
+      if (results[i].repair.has_value()) {
+        incumbents.emplace_back(jobs[i].tau, results[i].repair->distc);
+      }
+    }
+    std::vector<double> seeds(other_idx.size());
+    for (size_t k = 0; k < other_idx.size(); ++k) {
+      seeds[k] = SeedFor(jobs[other_idx[k]].tau, incumbents);
+    }
+    run_wave(other_idx, seeds);
+  }
+
   CheckVersion("finish");
   return results;
 }

@@ -36,6 +36,14 @@ namespace retrust::exec {
 /// anytime/greedy jobs freely (each job runs its own engine loop with its
 /// own incumbents/bounds; the shared context and cover memo stay policy-
 /// agnostic).
+///
+/// Mixed-policy sweeps are scheduled POLICY-AWARE: all kGreedy jobs run as
+/// a first wave, and each remaining job's `initial_upper_bound` is seeded
+/// with the cheapest greedy incumbent found at a τ_g ≤ its own τ (repairs
+/// feasible at a tighter τ stay feasible, so the bound is admissible and
+/// tightens only the cap, never below the optimum). Exact jobs ignore the
+/// seed by engine construction, so their results are bit-identical with
+/// and without it; anytime jobs just prune dominated states earlier.
 struct SweepJob {
   int64_t tau = 0;
   RepairOptions opts;

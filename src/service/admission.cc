@@ -11,6 +11,11 @@ Status AdmissionController::Admit(double deadline_seconds, size_t queue_depth,
     return Status::Error(StatusCode::kBudgetExceeded,
                          "deadline already expired at submission");
   }
+  if (opts_.quota != nullptr && !opts_.quota->TryAcquire(tenant)) {
+    ++rejected_quota_;
+    return Status::Error(StatusCode::kOverloaded,
+                         "tenant '" + tenant + "' over its rate quota");
+  }
   if (opts_.queue_capacity != 0 && queue_depth >= opts_.queue_capacity) {
     ++rejected_queue_full_;
     return Status::Error(StatusCode::kOverloaded,
@@ -64,6 +69,7 @@ void AdmissionController::Snapshot(ServerStats* out) const {
   out->rejected_queue_full = rejected_queue_full_;
   out->rejected_tenant_cap = rejected_tenant_cap_;
   out->rejected_deadline = rejected_deadline_;
+  out->rejected_quota = rejected_quota_;
 }
 
 }  // namespace retrust::service

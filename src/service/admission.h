@@ -2,16 +2,20 @@
 // a request can be served at all, so overload is shed at the cheap end of
 // the pipeline instead of timing out deep inside it.
 //
-// Three independent gates, checked in order:
+// Four independent gates, checked in order:
 //
 //   1. pre-expired deadline  — a request whose deadline is already in the
 //      past can only ever produce kBudgetExceeded; reject it before it
 //      occupies a queue slot (Status kBudgetExceeded).
-//   2. capacity              — global queue depth bound and the per-tenant
+//   2. tenant rate quota     — the per-tenant token bucket (quota.h), when
+//      one is configured: a tenant past its rate is shed with kOverloaded
+//      BEFORE the capacity gates, so its flood never competes for queue
+//      slots with in-quota tenants (Status kOverloaded).
+//   3. capacity              — global queue depth bound and the per-tenant
 //      in-flight cap (queued + executing), both Status kOverloaded. The
 //      per-tenant cap is what keeps one hot dataset from monopolizing the
 //      queue the fair drain order protects.
-//   3. deadline feasibility  — with a deadline set and an observed-latency
+//   4. deadline feasibility  — with a deadline set and an observed-latency
 //      EWMA available, a request that would (in expectation) still be
 //      queued when its deadline fires is shed with kOverloaded rather
 //      than admitted to die in the queue.
@@ -27,6 +31,7 @@
 #include <string>
 
 #include "src/api/status.h"
+#include "src/service/quota.h"
 #include "src/service/stats.h"
 
 namespace retrust::service {
@@ -38,8 +43,11 @@ class AdmissionController {
     size_t queue_capacity = 256;
     /// Per-tenant bound on queued + executing requests (0 = unbounded).
     size_t per_tenant_inflight = 0;
-    /// Worker count, for the expected-wait estimate of gate 3.
+    /// Worker count, for the expected-wait estimate of gate 4.
     int workers = 1;
+    /// Per-tenant token buckets (gate 2). Nullable (= no rate limiting);
+    /// NOT owned — the Server owns the manager and must outlive this.
+    QuotaManager* quota = nullptr;
   };
 
   explicit AdmissionController(Options opts) : opts_(opts) {}
@@ -73,6 +81,7 @@ class AdmissionController {
   uint64_t rejected_queue_full_ = 0;
   uint64_t rejected_tenant_cap_ = 0;
   uint64_t rejected_deadline_ = 0;
+  uint64_t rejected_quota_ = 0;
 };
 
 }  // namespace retrust::service

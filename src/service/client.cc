@@ -1,0 +1,209 @@
+#include "src/service/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/service/event_loop.h"  // LineDecoder
+
+namespace retrust::service {
+
+namespace {
+
+Status IoError(const std::string& what) {
+  return Status::Error(StatusCode::kIoError,
+                       what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WireClient>> WireClient::Connect(int port) {
+  return Connect(port, Options());
+}
+
+Result<std::unique_ptr<WireClient>> WireClient::Connect(int port,
+                                                        Options opts) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return IoError("socket");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  // Nonblocking connect bounded by the timeout: a dead endpoint must
+  // yield kIoError, never hang the caller in connect(2).
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status status = IoError("connect");
+    ::close(fd);
+    return status;
+  }
+  if (rc != 0) {
+    int timeout_ms =
+        static_cast<int>(opts.connect_timeout_seconds * 1000.0 + 0.5);
+    pollfd pfd{fd, POLLOUT, 0};
+    for (;;) {
+      int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) {
+        ::close(fd);
+        return Status::Error(StatusCode::kIoError,
+                             "connect to 127.0.0.1:" + std::to_string(port) +
+                                 " timed out");
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      return Status::Error(StatusCode::kIoError,
+                           std::string("connect: ") + std::strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking for the reader/writer
+
+  return std::unique_ptr<WireClient>(new WireClient(fd, std::move(opts)));
+}
+
+WireClient::WireClient(int fd, Options opts)
+    : opts_(std::move(opts)), fd_(fd) {
+  reader_ = std::thread(&WireClient::ReaderThread, this);
+}
+
+WireClient::~WireClient() {
+  Close();
+  if (reader_.joinable()) reader_.join();
+  ::close(fd_);
+}
+
+void WireClient::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  // Wakes the reader out of recv(); it drains already-received replies
+  // and then fails whatever is still pending.
+  ::shutdown(fd_, SHUT_WR);
+}
+
+std::future<Result<Json>> WireClient::Call(Json request) {
+  std::promise<Result<Json>> promise;
+  std::future<Result<Json>> future = promise.get_future();
+
+  std::string key;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      promise.set_value(
+          Status::Error(StatusCode::kIoError, "client is closed"));
+      return future;
+    }
+    if (const Json* id = request.Get("id")) {
+      key = id->Dump();
+    } else {
+      request.MutableObject()["id"] = Json(next_id_++);
+      key = request.Get("id")->Dump();
+    }
+    if (pending_.count(key) != 0) {
+      promise.set_value(Status::Error(
+          StatusCode::kInvalidArgument,
+          "a request with id " + key + " is already in flight"));
+      return future;
+    }
+    pending_.emplace(key, std::move(promise));
+  }
+
+  std::string line = request.Dump();
+  line.push_back('\n');
+  bool sent = true;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    size_t off = 0;
+    while (off < line.size()) {
+      ssize_t n =
+          ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<size_t>(n);  // partial writes just continue
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      sent = false;
+      break;
+    }
+  }
+  if (!sent) {
+    FailAll(Status::Error(StatusCode::kIoError,
+                          "connection lost while sending request"));
+  }
+  return future;
+}
+
+void WireClient::ReaderThread() {
+  LineDecoder decoder(opts_.max_line_bytes);
+  char chunk[64 << 10];
+  for (;;) {
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      // Server closed (or the socket died) — every waiting caller gets a
+      // clean kIoError instead of a hang.
+      FailAll(Status::Error(StatusCode::kIoError,
+                            "server closed the connection"));
+      return;
+    }
+    decoder.Feed(chunk, static_cast<size_t>(n));
+    LineDecoder::Line line;
+    while (decoder.Pop(&line)) {
+      if (line.oversized) {
+        FailAll(Status::Error(StatusCode::kIoError,
+                              "oversized reply frame from server"));
+        return;
+      }
+      Result<Json> reply = ParseJson(line.text);
+      if (!reply.ok()) continue;  // not ours to crash on; drop the frame
+      const Json* id = reply->Get("id");
+      if (id == nullptr) continue;  // unsolicited (e.g. oversized-line error)
+      std::promise<Result<Json>> promise;
+      bool found = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = pending_.find(id->Dump());
+        if (it != pending_.end()) {
+          promise = std::move(it->second);
+          pending_.erase(it);
+          found = true;
+        }
+      }
+      if (found) promise.set_value(std::move(*reply));
+    }
+  }
+}
+
+void WireClient::FailAll(const Status& status) {
+  std::map<std::string, std::promise<Result<Json>>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    orphaned.swap(pending_);
+  }
+  for (auto& entry : orphaned) {
+    entry.second.set_value(status);
+  }
+}
+
+}  // namespace retrust::service

@@ -1,0 +1,93 @@
+// WireClient — a pipelined NDJSON client for tools/retrust_server.
+//
+// One TCP connection, MANY outstanding requests: Call() stamps a unique
+// numeric "id" (unless the caller supplied one), sends the line, and
+// returns a future; a reader thread matches reply lines back to their
+// futures by the echoed id, so replies may arrive in ANY order. This is
+// the client half of the event-driven wire: throughput comes from keeping
+// the pipeline full on one connection instead of opening a connection per
+// request.
+//
+// Robustness contract (the part tests poke at):
+//   * Connect() uses a nonblocking connect bounded by
+//     `connect_timeout_seconds` — a dead or unroutable endpoint yields
+//     kIoError, never a hang.
+//   * Writes handle EINTR and partial sends.
+//   * If the server closes the connection (or any wire error occurs),
+//     every in-flight future completes with kIoError immediately — a
+//     waiting caller never blocks forever.
+//
+// Thread-safe: Call() may be invoked from any number of threads.
+
+#ifndef RETRUST_SERVICE_CLIENT_H_
+#define RETRUST_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/service/wire.h"
+
+namespace retrust::service {
+
+class WireClient {
+ public:
+  struct Options {
+    double connect_timeout_seconds = 5.0;
+    /// Reply frames larger than this fail the connection (a sane server
+    /// never sends one; this bounds a runaway peer).
+    size_t max_line_bytes = 64u << 20;
+  };
+
+  /// Connects to 127.0.0.1:<port>. kIoError on refusal or timeout.
+  static Result<std::unique_ptr<WireClient>> Connect(int port, Options opts);
+  static Result<std::unique_ptr<WireClient>> Connect(int port);
+
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Sends one request object, returns the matched reply. If `request`
+  /// carries no "id" a fresh numeric one is stamped (the reply future is
+  /// keyed on it either way). The returned future completes with the
+  /// server's reply object, or kIoError if the connection dies first.
+  std::future<Result<Json>> Call(Json request);
+
+  /// Call + wait. Convenience for request/response call sites.
+  Result<Json> CallSync(Json request) { return Call(std::move(request)).get(); }
+
+  /// Half-closes the socket: no further Call()s succeed, the reader
+  /// drains what the server already sent, then pending futures fail.
+  /// Idempotent; the destructor calls it.
+  void Close();
+
+ private:
+  WireClient(int fd, Options opts);
+
+  void ReaderThread();
+  /// Fails every pending future with `status` and marks the client dead.
+  void FailAll(const Status& status);
+
+  Options opts_;
+  int fd_;
+
+  std::mutex write_mu_;  // serializes send() across Call() threads
+
+  std::mutex mu_;  // guards the fields below
+  bool closed_ = false;
+  uint64_t next_id_ = 1;
+  /// Pending futures keyed by the id's serialized JSON (ids are arbitrary
+  /// JSON values on the wire, so the dump is the canonical key).
+  std::map<std::string, std::promise<Result<Json>>> pending_;
+
+  std::thread reader_;
+};
+
+}  // namespace retrust::service
+
+#endif  // RETRUST_SERVICE_CLIENT_H_

@@ -7,11 +7,13 @@ namespace retrust::service {
 
 namespace {
 
-AdmissionController::Options AdmissionOptions(const ServerOptions& opts) {
+AdmissionController::Options AdmissionOptions(const ServerOptions& opts,
+                                              QuotaManager* quota) {
   AdmissionController::Options a;
   a.queue_capacity = opts.queue_capacity;
   a.per_tenant_inflight = opts.per_tenant_inflight;
   a.workers = opts.workers < 1 ? 1 : opts.workers;
+  a.quota = quota;
   return a;
 }
 
@@ -25,7 +27,8 @@ Server::Server(ServerOptions opts)
                         : nullptr),
       tenants_(opts_.session_defaults, session_pool_.get(),
                opts_.snapshot_dir, opts_.max_loaded_tenant_bytes),
-      admission_(AdmissionOptions(opts_)),
+      quota_(opts_.default_quota, opts_.quota_clock),
+      admission_(AdmissionOptions(opts_, &quota_)),
       queue_(&admission_),
       worker_pool_(std::make_unique<exec::ThreadPool>(
           opts_.workers < 1 ? 1 : opts_.workers)) {
@@ -79,24 +82,20 @@ void Server::Stop() {
 }
 
 template <typename T>
-Submitted<T> Server::Submit(const std::string& tenant, bool is_write,
-                            double deadline_seconds,
-                            std::function<T(Session&, PendingRequest&)> run,
-                            std::function<T(const Status&)> on_fail) {
-  auto promise = std::make_shared<std::promise<T>>();
-  Submitted<T> out;
-  out.future = promise->get_future();
-  out.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+uint64_t Server::SubmitAsync(const std::string& tenant, bool is_write,
+                             double deadline_seconds,
+                             std::function<T(Session&, PendingRequest&)> run,
+                             std::function<T(const Status&)> on_fail,
+                             std::function<void(T)> done) {
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   ++submitted_;
 
-  auto reject = [&](Status status) {
-    promise->set_value(on_fail(status));
-  };
+  auto reject = [&](Status status) { done(on_fail(status)); };
   {
     std::lock_guard<std::mutex> lock(stop_mu_);
     if (stopped_) {
       reject(Status::Error(StatusCode::kCancelled, "server stopped"));
-      return out;
+      return id;
     }
   }
   // Unknown tenants fail fast, before they can occupy a queue slot or
@@ -104,22 +103,25 @@ Submitted<T> Server::Submit(const std::string& tenant, bool is_write,
   if (!tenants_.Contains(tenant)) {
     reject(Status::Error(StatusCode::kInvalidArgument,
                          "unknown tenant '" + tenant + "'"));
-    return out;
+    return id;
   }
 
   auto req = std::make_shared<PendingRequest>();
-  req->id = out.id;
+  req->id = id;
   req->tenant = tenant;
   req->is_write = is_write;
   req->deadline_seconds = deadline_seconds;
   req->submitted = std::chrono::steady_clock::now();
   // Both wrappers finish ALL bookkeeping (live_ removal, counters,
-  // latency) BEFORE completing the promise, so a caller that wakes from
-  // future.get() observes consistent stats — no "reply arrived but
-  // completed counter still says 0" window.
-  req->execute = [this, promise, run = std::move(run)](
+  // latency) BEFORE invoking the completion, so a caller that wakes from
+  // its callback (or future.get()) observes consistent stats — no "reply
+  // arrived but completed counter still says 0" window.
+  req->execute = [this, done, run = std::move(run)](
                      Session& session, PendingRequest& pending) {
     const auto exec_start = std::chrono::steady_clock::now();
+    const double queue_wait = std::chrono::duration<double>(
+                                  exec_start - pending.submitted)
+                                  .count();
     T reply = run(session, pending);
     // Two different clocks on purpose: the admission EWMA needs pure
     // SERVICE time (its wait estimate multiplies by queue depth — feeding
@@ -135,6 +137,8 @@ Submitted<T> Server::Submit(const std::string& tenant, bool is_write,
       std::lock_guard<std::mutex> lock(stats_mu_);
       live_.erase(pending.id);
       latency_.Record(latency);
+      queue_wait_.Record(queue_wait);
+      service_.Record(service_seconds);
       ++completed_by_tenant_[pending.tenant];
     }
     admission_.ObserveLatency(service_seconds);
@@ -144,9 +148,9 @@ Submitted<T> Server::Submit(const std::string& tenant, bool is_write,
       pending.release = nullptr;
       release();
     }
-    promise->set_value(std::move(reply));
+    done(std::move(reply));
   };
-  req->fail = [this, promise, self = req.get(),
+  req->fail = [this, done, self = req.get(),
                on_fail = std::move(on_fail)](const Status& status) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -157,7 +161,7 @@ Submitted<T> Server::Submit(const std::string& tenant, bool is_write,
       self->release = nullptr;
       release();
     }
-    promise->set_value(on_fail(status));
+    done(on_fail(status));
   };
 
   // Live BEFORE Push: a worker may pop and finish the request before Push
@@ -175,6 +179,20 @@ Submitted<T> Server::Submit(const std::string& tenant, bool is_write,
     }
     req->fail(admitted);  // on_fail was moved into the request
   }
+  return id;
+}
+
+template <typename T>
+Submitted<T> Server::Submit(const std::string& tenant, bool is_write,
+                            double deadline_seconds,
+                            std::function<T(Session&, PendingRequest&)> run,
+                            std::function<T(const Status&)> on_fail) {
+  auto promise = std::make_shared<std::promise<T>>();
+  Submitted<T> out;
+  out.future = promise->get_future();
+  out.id = SubmitAsync<T>(
+      tenant, is_write, deadline_seconds, std::move(run), std::move(on_fail),
+      [promise](T reply) { promise->set_value(std::move(reply)); });
   return out;
 }
 
@@ -253,6 +271,10 @@ ServerStats Server::Stats() const {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats.p50_latency_seconds = latency_.Percentile(0.5);
     stats.p99_latency_seconds = latency_.Percentile(0.99);
+    stats.p50_queue_wait_seconds = queue_wait_.Percentile(0.5);
+    stats.p99_queue_wait_seconds = queue_wait_.Percentile(0.99);
+    stats.p50_service_seconds = service_.Percentile(0.5);
+    stats.p99_service_seconds = service_.Percentile(0.99);
   }
   return stats;
 }
@@ -291,17 +313,6 @@ std::function<Result<T>(const Status&)> FailAsResult() {
   return [](const Status& status) { return Result<T>(status); };
 }
 
-/// A submission rejected synchronously before reaching the server: the
-/// future is already ready with `status`.
-template <typename T>
-Submitted<Result<T>> RejectedSubmission(Status status) {
-  Submitted<Result<T>> out;
-  std::promise<Result<T>> promise;
-  out.future = promise.get_future();
-  promise.set_value(std::move(status));
-  return out;
-}
-
 Status UserCancelTokenError() {
   return Status::Error(
       StatusCode::kInvalidArgument,
@@ -311,12 +322,29 @@ Status UserCancelTokenError() {
 
 }  // namespace
 
-Submitted<Result<RepairResponse>> Client::Repair(const std::string& tenant,
-                                                 const RepairRequest& req) {
+namespace {
+
+/// The sync verbs are thin wrappers over the async ones: park the reply in
+/// a promise.
+template <typename T>
+std::pair<Submitted<T>, std::function<void(T)>> PromisedDone() {
+  auto promise = std::make_shared<std::promise<T>>();
+  Submitted<T> out;
+  out.future = promise->get_future();
+  return {std::move(out),
+          [promise](T reply) { promise->set_value(std::move(reply)); }};
+}
+
+}  // namespace
+
+uint64_t Client::RepairAsync(const std::string& tenant,
+                             const RepairRequest& req,
+                             std::function<void(Result<RepairResponse>)> done) {
   if (req.cancel != nullptr) {
-    return RejectedSubmission<RepairResponse>(UserCancelTokenError());
+    done(Result<RepairResponse>(UserCancelTokenError()));
+    return 0;
   }
-  return server_->Submit<Result<RepairResponse>>(
+  return server_->SubmitAsync<Result<RepairResponse>>(
       tenant, /*is_write=*/false, req.deadline_seconds,
       [req, server = server_](Session& session, PendingRequest& pending) {
         RepairRequest r = req;
@@ -326,15 +354,17 @@ Submitted<Result<RepairResponse>> Client::Repair(const std::string& tenant,
         if (response.ok()) server->RecordSearchStats(response->repair.stats);
         return response;
       },
-      FailAsResult<RepairResponse>());
+      FailAsResult<RepairResponse>(), std::move(done));
 }
 
-Submitted<Result<SearchProbe>> Client::Search(const std::string& tenant,
-                                              const RepairRequest& req) {
+uint64_t Client::SearchAsync(const std::string& tenant,
+                             const RepairRequest& req,
+                             std::function<void(Result<SearchProbe>)> done) {
   if (req.cancel != nullptr) {
-    return RejectedSubmission<SearchProbe>(UserCancelTokenError());
+    done(Result<SearchProbe>(UserCancelTokenError()));
+    return 0;
   }
-  return server_->Submit<Result<SearchProbe>>(
+  return server_->SubmitAsync<Result<SearchProbe>>(
       tenant, /*is_write=*/false, req.deadline_seconds,
       [req, server = server_](Session& session, PendingRequest& pending) {
         RepairRequest r = req;
@@ -344,13 +374,14 @@ Submitted<Result<SearchProbe>> Client::Search(const std::string& tenant,
         if (probe.ok()) server->RecordSearchStats(probe->result.stats);
         return probe;
       },
-      FailAsResult<SearchProbe>());
+      FailAsResult<SearchProbe>(), std::move(done));
 }
 
-Submitted<std::vector<Result<RepairResponse>>> Client::Sweep(
-    const std::string& tenant, std::vector<RepairRequest> reqs) {
+uint64_t Client::SweepAsync(
+    const std::string& tenant, std::vector<RepairRequest> reqs,
+    std::function<void(std::vector<Result<RepairResponse>>)> done) {
   const size_t n = reqs.size();
-  return server_->Submit<std::vector<Result<RepairResponse>>>(
+  return server_->SubmitAsync<std::vector<Result<RepairResponse>>>(
       tenant, /*is_write=*/false, /*deadline_seconds=*/0.0,
       [reqs = std::move(reqs), server = server_](Session& session,
                                                  PendingRequest& pending) {
@@ -368,7 +399,73 @@ Submitted<std::vector<Result<RepairResponse>>> Client::Sweep(
         replies.reserve(n);
         for (size_t i = 0; i < n; ++i) replies.emplace_back(status);
         return replies;
-      });
+      },
+      std::move(done));
+}
+
+uint64_t Client::ApplyAsync(const std::string& tenant, DeltaBatch delta,
+                            std::function<void(Result<ApplyStats>)> done) {
+  return server_->SubmitAsync<Result<ApplyStats>>(
+      tenant, /*is_write=*/true, /*deadline_seconds=*/0.0,
+      [delta = std::move(delta)](Session& session, PendingRequest&) {
+        return session.Apply(delta);
+      },
+      FailAsResult<ApplyStats>(), std::move(done));
+}
+
+uint64_t Client::SaveSnapshotAsync(
+    const std::string& tenant, std::string path,
+    std::function<void(Result<std::string>)> done) {
+  // A WRITE so the lane barrier quiesces the tenant first: the file is a
+  // consistent cut between everything submitted before and after. The
+  // registry call (not a bare Session::SaveSnapshot) also records the
+  // snapshot as the tenant's reload spec.
+  return server_->SubmitAsync<Result<std::string>>(
+      tenant, /*is_write=*/true, /*deadline_seconds=*/0.0,
+      [server = server_, tenant, path = std::move(path)](
+          Session&, PendingRequest&) -> Result<std::string> {
+        Status saved = server->tenants_.SaveSnapshot(tenant, path);
+        if (!saved.ok()) return saved;
+        return path;
+      },
+      FailAsResult<std::string>(), std::move(done));
+}
+
+uint64_t Client::UnloadTenantAsync(const std::string& tenant,
+                                   std::function<void(Result<bool>)> done) {
+  // Also a WRITE: earlier requests drain first, later ones queue behind
+  // and trigger the transparent reload. tolerated_pins = 1 because the
+  // worker loop executing THIS verb holds the session it resolved.
+  return server_->SubmitAsync<Result<bool>>(
+      tenant, /*is_write=*/true, /*deadline_seconds=*/0.0,
+      [server = server_, tenant](Session&, PendingRequest&) -> Result<bool> {
+        Status unloaded = server->tenants_.Unload(tenant,
+                                                  /*tolerated_pins=*/1);
+        if (!unloaded.ok()) return unloaded;
+        return true;
+      },
+      FailAsResult<bool>(), std::move(done));
+}
+
+Submitted<Result<RepairResponse>> Client::Repair(const std::string& tenant,
+                                                 const RepairRequest& req) {
+  auto [out, done] = PromisedDone<Result<RepairResponse>>();
+  out.id = RepairAsync(tenant, req, std::move(done));
+  return std::move(out);
+}
+
+Submitted<Result<SearchProbe>> Client::Search(const std::string& tenant,
+                                              const RepairRequest& req) {
+  auto [out, done] = PromisedDone<Result<SearchProbe>>();
+  out.id = SearchAsync(tenant, req, std::move(done));
+  return std::move(out);
+}
+
+Submitted<std::vector<Result<RepairResponse>>> Client::Sweep(
+    const std::string& tenant, std::vector<RepairRequest> reqs) {
+  auto [out, done] = PromisedDone<std::vector<Result<RepairResponse>>>();
+  out.id = SweepAsync(tenant, std::move(reqs), std::move(done));
+  return std::move(out);
 }
 
 std::vector<Submitted<Result<RepairResponse>>> Client::RepairBatch(
@@ -381,44 +478,22 @@ std::vector<Submitted<Result<RepairResponse>>> Client::RepairBatch(
 
 Submitted<Result<ApplyStats>> Client::Apply(const std::string& tenant,
                                             DeltaBatch delta) {
-  return server_->Submit<Result<ApplyStats>>(
-      tenant, /*is_write=*/true, /*deadline_seconds=*/0.0,
-      [delta = std::move(delta)](Session& session, PendingRequest&) {
-        return session.Apply(delta);
-      },
-      FailAsResult<ApplyStats>());
+  auto [out, done] = PromisedDone<Result<ApplyStats>>();
+  out.id = ApplyAsync(tenant, std::move(delta), std::move(done));
+  return std::move(out);
 }
 
 Submitted<Result<std::string>> Client::SaveSnapshot(const std::string& tenant,
                                                     std::string path) {
-  // A WRITE so the lane barrier quiesces the tenant first: the file is a
-  // consistent cut between everything submitted before and after. The
-  // registry call (not a bare Session::SaveSnapshot) also records the
-  // snapshot as the tenant's reload spec.
-  return server_->Submit<Result<std::string>>(
-      tenant, /*is_write=*/true, /*deadline_seconds=*/0.0,
-      [server = server_, tenant, path = std::move(path)](
-          Session&, PendingRequest&) -> Result<std::string> {
-        Status saved = server->tenants_.SaveSnapshot(tenant, path);
-        if (!saved.ok()) return saved;
-        return path;
-      },
-      FailAsResult<std::string>());
+  auto [out, done] = PromisedDone<Result<std::string>>();
+  out.id = SaveSnapshotAsync(tenant, std::move(path), std::move(done));
+  return std::move(out);
 }
 
 Submitted<Result<bool>> Client::UnloadTenant(const std::string& tenant) {
-  // Also a WRITE: earlier requests drain first, later ones queue behind
-  // and trigger the transparent reload. tolerated_pins = 1 because the
-  // worker loop executing THIS verb holds the session it resolved.
-  return server_->Submit<Result<bool>>(
-      tenant, /*is_write=*/true, /*deadline_seconds=*/0.0,
-      [server = server_, tenant](Session&, PendingRequest&) -> Result<bool> {
-        Status unloaded = server->tenants_.Unload(tenant,
-                                                  /*tolerated_pins=*/1);
-        if (!unloaded.ok()) return unloaded;
-        return true;
-      },
-      FailAsResult<bool>());
+  auto [out, done] = PromisedDone<Result<bool>>();
+  out.id = UnloadTenantAsync(tenant, std::move(done));
+  return std::move(out);
 }
 
 bool Client::Cancel(uint64_t id) { return server_->Cancel(id); }

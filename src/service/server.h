@@ -47,6 +47,7 @@
 #include "src/exec/thread_pool.h"
 #include "src/service/admission.h"
 #include "src/service/queue.h"
+#include "src/service/quota.h"
 #include "src/service/stats.h"
 #include "src/service/tenant_registry.h"
 
@@ -77,6 +78,13 @@ struct ServerOptions {
   /// after each lazy load the registry unloads least-recently-used idle
   /// tenants until the budget fits (see TenantRegistry).
   size_t max_loaded_tenant_bytes = 0;
+  /// Default per-tenant rate quota (quota.h; rate 0 = unlimited, the
+  /// default). Per-tenant overrides via Server::SetTenantQuota or the
+  /// load_tenant wire verb's quota_rate/quota_burst fields.
+  QuotaLimits default_quota;
+  /// Injectable quota clock (monotone seconds; null = steady_clock) so
+  /// tests can step refill time deterministically.
+  std::function<double()> quota_clock;
 };
 
 /// A submitted request: its server-assigned id (usable with
@@ -136,6 +144,29 @@ class Client {
   /// cannot be reproduced from its spec and no snapshot_dir is set.
   Submitted<Result<bool>> UnloadTenant(const std::string& tenant);
 
+  // --- async variants ----------------------------------------------------
+  // The same verbs completion-callback style: `done` is invoked EXACTLY
+  // once with the reply — on a worker thread after execution, or
+  // synchronously on the calling thread for pre-admission rejections. All
+  // server bookkeeping (stats, lane slot, live table) is finished before
+  // `done` runs. This is what the event-driven wire front end
+  // (event_loop.h) builds on: thousands of outstanding requests without a
+  // blocked thread each. Returns the request id (0 for synchronous
+  // rejections that never reached admission).
+  uint64_t RepairAsync(const std::string& tenant, const RepairRequest& req,
+                       std::function<void(Result<RepairResponse>)> done);
+  uint64_t SearchAsync(const std::string& tenant, const RepairRequest& req,
+                       std::function<void(Result<SearchProbe>)> done);
+  uint64_t SweepAsync(
+      const std::string& tenant, std::vector<RepairRequest> reqs,
+      std::function<void(std::vector<Result<RepairResponse>>)> done);
+  uint64_t ApplyAsync(const std::string& tenant, DeltaBatch delta,
+                      std::function<void(Result<ApplyStats>)> done);
+  uint64_t SaveSnapshotAsync(const std::string& tenant, std::string path,
+                             std::function<void(Result<std::string>)> done);
+  uint64_t UnloadTenantAsync(const std::string& tenant,
+                             std::function<void(Result<bool>)> done);
+
   /// Cancels a live request: queued -> completed with kCancelled without
   /// touching any Session; executing -> cooperative CancelToken. False
   /// when the id is unknown or already finished.
@@ -171,6 +202,13 @@ class Server {
   Client client() { return Client(this); }
   TenantRegistry& tenants() { return tenants_; }
 
+  /// Sets (or clears, with unlimited limits) one tenant's rate quota.
+  /// Takes effect for the NEXT admission decision; the bucket starts full.
+  void SetTenantQuota(const std::string& tenant, QuotaLimits limits) {
+    quota_.SetLimits(tenant, limits);
+  }
+  QuotaManager& quota() { return quota_; }
+
   ServerStats Stats() const;
   /// Registry + queue view of one tenant (never forces a lazy open).
   Result<TenantStats> TenantStatsFor(const std::string& name) const;
@@ -191,9 +229,22 @@ class Server {
  private:
   friend class Client;
 
-  /// Shared submit path of every verb. `run` executes the verb against
-  /// the resolved session; `on_fail` builds the verb's reply for a status
-  /// (needed because a sweep's reply is a vector, not a Result).
+  /// Shared submit path of every verb, completion-callback style. `run`
+  /// executes the verb against the resolved session; `on_fail` builds the
+  /// verb's reply for a status (needed because a sweep's reply is a
+  /// vector, not a Result); `done` receives the reply exactly once, AFTER
+  /// all bookkeeping (stats, lane slot, live table) — on the worker
+  /// thread, or synchronously on the caller's for pre-admission
+  /// rejections. Returns the request id.
+  template <typename T>
+  uint64_t SubmitAsync(const std::string& tenant, bool is_write,
+                       double deadline_seconds,
+                       std::function<T(Session&, PendingRequest&)> run,
+                       std::function<T(const Status&)> on_fail,
+                       std::function<void(T)> done);
+
+  /// Future-returning convenience over SubmitAsync (the in-process Client
+  /// verbs).
   template <typename T>
   Submitted<T> Submit(const std::string& tenant, bool is_write,
                       double deadline_seconds,
@@ -214,6 +265,8 @@ class Server {
   /// every Session using it.
   std::unique_ptr<exec::ThreadPool> session_pool_;
   TenantRegistry tenants_;
+  /// Declared before admission_: the controller holds a pointer to it.
+  QuotaManager quota_;
   AdmissionController admission_;
   RequestQueue queue_;
 
@@ -226,9 +279,11 @@ class Server {
   std::atomic<uint64_t> search_lb_prunes_{0};
   std::atomic<uint64_t> search_incumbents_{0};
 
-  mutable std::mutex stats_mu_;  ///< live_, latency_, completed_by_tenant_
+  mutable std::mutex stats_mu_;  ///< live_, histograms, completed_by_tenant_
   std::map<uint64_t, std::shared_ptr<PendingRequest>> live_;
-  LatencyHistogram latency_;
+  LatencyHistogram latency_;      ///< end-to-end: submit -> reply
+  LatencyHistogram queue_wait_;   ///< submit -> execution start
+  LatencyHistogram service_;      ///< execution start -> reply built
   std::map<std::string, uint64_t> completed_by_tenant_;
 
   std::mutex stop_mu_;

@@ -83,12 +83,22 @@ struct ServerStats {
   uint64_t rejected_queue_full = 0;  ///< kOverloaded: global depth bound
   uint64_t rejected_tenant_cap = 0;  ///< kOverloaded: per-tenant in-flight cap
   uint64_t rejected_deadline = 0;    ///< pre-expired or infeasible deadline
+  uint64_t rejected_quota = 0;       ///< kOverloaded: token bucket exhausted
   uint64_t expired_in_queue = 0;     ///< deadline passed while waiting
   uint64_t cancelled = 0;            ///< cancelled before execution started
   uint64_t completed = 0;            ///< executed to a reply
 
   double p50_latency_seconds = 0.0;  ///< submit -> reply, executed requests
   double p99_latency_seconds = 0.0;
+
+  // End-to-end latency split into its two phases, so overload diagnosis
+  // reads straight off the stats verb: a high queue-wait p99 with a flat
+  // service p99 means not enough workers (or a flooding tenant); a high
+  // service p99 means the requests themselves got slower.
+  double p50_queue_wait_seconds = 0.0;  ///< submit -> execution start
+  double p99_queue_wait_seconds = 0.0;
+  double p50_service_seconds = 0.0;     ///< execution start -> reply built
+  double p99_service_seconds = 0.0;
 
   // Search-engine aggregates across every repair/search/sweep executed by
   // this server (src/search/engine.cc counters, summed per request).
@@ -97,7 +107,8 @@ struct ServerStats {
   uint64_t search_incumbent_improvements = 0;
 
   uint64_t rejected() const {
-    return rejected_queue_full + rejected_tenant_cap + rejected_deadline;
+    return rejected_queue_full + rejected_tenant_cap + rejected_deadline +
+           rejected_quota;
   }
 };
 

@@ -583,9 +583,14 @@ Json ToJson(const ServerStats& stats) {
   obj["rejected_queue_full"] = Json(stats.rejected_queue_full);
   obj["rejected_tenant_cap"] = Json(stats.rejected_tenant_cap);
   obj["rejected_deadline"] = Json(stats.rejected_deadline);
+  obj["rejected_quota"] = Json(stats.rejected_quota);
   obj["rejected"] = Json(stats.rejected());
   obj["p50_latency_seconds"] = Json(stats.p50_latency_seconds);
   obj["p99_latency_seconds"] = Json(stats.p99_latency_seconds);
+  obj["p50_queue_wait_seconds"] = Json(stats.p50_queue_wait_seconds);
+  obj["p99_queue_wait_seconds"] = Json(stats.p99_queue_wait_seconds);
+  obj["p50_service_seconds"] = Json(stats.p50_service_seconds);
+  obj["p99_service_seconds"] = Json(stats.p99_service_seconds);
   obj["search_expansions"] = Json(static_cast<int64_t>(stats.search_expansions));
   obj["search_lb_prunes"] = Json(static_cast<int64_t>(stats.search_lb_prunes));
   obj["search_incumbent_improvements"] =

@@ -3,6 +3,8 @@
 //   retrust_server [--port N] [--workers W] [--queue-depth D]
 //                  [--tenant-cap C] [--session-threads S]
 //                  [--snapshot-dir DIR] [--max-tenant-bytes B]
+//                  [--reader-threads R] [--pipeline-depth P]
+//                  [--quota-rate TOKENS_PER_SEC] [--quota-burst TOKENS]
 //                  [--tenant NAME=FILE.csv:FD[;FD...]]...
 //                  [--tenant-snapshot NAME=FILE.snap]...
 //
@@ -11,6 +13,14 @@
 // response per line (wire format in src/service/wire.h — verbs:
 // load_tenant, load_snapshot_tenant, repair, sweep, apply_delta,
 // save_snapshot, unload_tenant, stats, shutdown).
+//
+// Connections are served by the event-driven loop in
+// src/service/event_loop.h: every connection may PIPELINE many requests
+// (replies correlate by the echoed "id" and may arrive out of order), so
+// one socket saturates the worker pool — no thread per connection, no
+// connection per request. `--quota-rate`/`--quota-burst` set the default
+// per-tenant token-bucket admission quota (0 = unlimited); per-tenant
+// overrides ride on the load_tenant verb ("quota_rate"/"quota_burst").
 //
 // Warm restart: `--tenant-snapshot` registers a tenant whose first
 // request restores a src/persist/ snapshot instead of rebuilding from
@@ -21,41 +31,21 @@
 //   retrust_server listening on 127.0.0.1:<port>
 //
 // once the socket is ready, so wrappers (CI's service smoke) can parse
-// the chosen port. Each connection is served by its own thread and
-// handled request-by-request; concurrency comes from concurrent
-// connections feeding the shared admission-controlled queue, which is
-// exactly the multi-tenant path the service layer exists for.
+// the chosen port.
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <algorithm>
-#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "src/service/event_loop.h"
 #include "src/service/server.h"
-#include "src/service/wire.h"
 
 using namespace retrust;
 using namespace retrust::service;
 
 namespace {
-
-std::atomic<bool> g_shutdown{false};
-int g_listen_fd = -1;
-/// Open connection sockets, so shutdown can force idle recv()s to return
-/// (a connection blocked in recv would otherwise outlive the Server).
-std::mutex g_conn_mu;
-std::vector<int> g_conn_fds;
 
 /// Splits "NAME=FILE.csv:FD[;FD...]". FDs are ';'-separated because ','
 /// already separates the attributes of a compound LHS ("City,State->Zip").
@@ -79,253 +69,13 @@ bool ParseTenantSpec(const std::string& spec, std::string* name,
   return !fds->empty();
 }
 
-bool SendLine(int fd, std::string line) {
-  line.push_back('\n');
-  size_t sent = 0;
-  while (sent < line.size()) {
-    ssize_t n = ::send(fd, line.data() + sent, line.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-/// One request line -> one response line. Synchronous per connection by
-/// design: pipelined concurrency comes from multiple connections.
-/// `request_shutdown` is set (not acted on) by the shutdown verb: the
-/// caller tears the process down only AFTER the reply reached the wire.
-std::string HandleLine(Server& server, const std::string& line,
-                       bool* request_shutdown) {
-  Result<Json> parsed = ParseJson(line);
-  if (!parsed.ok()) return ErrorJson(parsed.status()).Dump();
-  const Json& req = *parsed;
-  // The optional "id" is echoed verbatim on EVERY reply to a parseable
-  // request — op errors included — so pipelining clients never lose the
-  // request/response correlation.
-  auto with_id = [&req](Json reply) {
-    if (const Json* id = req.Get("id")) {
-      reply.MutableObject()["id"] = *id;
-    }
-    return reply.Dump();
-  };
-  const Json* op = req.Get("op");
-  if (op == nullptr || !op->is_string()) {
-    return with_id(ErrorJson(Status::Error(StatusCode::kInvalidArgument,
-                                           "request needs a string 'op'")));
-  }
-  auto tenant_of = [&req]() -> std::string {
-    const Json* tenant = req.Get("tenant");
-    return tenant != nullptr && tenant->is_string() ? tenant->AsString() : "";
-  };
-  const std::string verb = op->AsString();
-  Client client = server.client();
-
-  if (verb == "load_tenant") {
-    const Json* csv = req.Get("csv");
-    const Json* fds = req.Get("fds");
-    std::string tenant = tenant_of();
-    if (tenant.empty() || csv == nullptr || !csv->is_string() ||
-        fds == nullptr || !fds->is_array()) {
-      return with_id(ErrorJson(Status::Error(
-          StatusCode::kInvalidArgument,
-          "load_tenant needs 'tenant', 'csv' and 'fds'")));
-    }
-    std::vector<std::string> fd_texts;
-    for (const Json& fd : fds->AsArray()) {
-      if (!fd.is_string()) {
-        return with_id(ErrorJson(Status::Error(StatusCode::kInvalidArgument,
-                                               "'fds' must be strings")));
-      }
-      fd_texts.push_back(fd.AsString());
-    }
-    Status status =
-        server.LoadCsvTenant(tenant, csv->AsString(), std::move(fd_texts));
-    if (!status.ok()) return with_id(ErrorJson(status));
-    Json::Object obj;
-    obj["ok"] = Json(true);
-    obj["tenant"] = Json(tenant);
-    return with_id(Json(std::move(obj)));
-  }
-
-  if (verb == "repair") {
-    Result<RepairRequest> repair = RepairRequestFromJson(req);
-    if (!repair.ok()) return with_id(ErrorJson(repair.status()));
-    std::string tenant = tenant_of();
-    auto submitted = client.Repair(tenant, *repair);
-    Result<RepairResponse> response = submitted.future.get();
-    if (!response.ok()) return with_id(ErrorJson(response.status()));
-    // The schema reference is safe: the tenant resolved (the repair ran).
-    Result<std::shared_ptr<Session>> session = server.tenants().Get(tenant);
-    return with_id(ToJson(*response, (*session)->schema()));
-  }
-
-  if (verb == "sweep") {
-    const Json* requests = req.Get("requests");
-    if (requests == nullptr || !requests->is_array() ||
-        requests->AsArray().empty()) {
-      return with_id(ErrorJson(Status::Error(
-          StatusCode::kInvalidArgument,
-          "sweep needs a non-empty 'requests' array")));
-    }
-    std::vector<RepairRequest> batch;
-    for (const Json& r : requests->AsArray()) {
-      Result<RepairRequest> repair = RepairRequestFromJson(r);
-      if (!repair.ok()) return with_id(ErrorJson(repair.status()));
-      batch.push_back(*repair);
-    }
-    std::string tenant = tenant_of();
-    auto submitted = client.Sweep(tenant, std::move(batch));
-    std::vector<Result<RepairResponse>> replies = submitted.future.get();
-    Result<std::shared_ptr<Session>> session = server.tenants().Get(tenant);
-    Json::Array results;
-    for (const Result<RepairResponse>& r : replies) {
-      if (r.ok() && session.ok()) {
-        results.push_back(ToJson(*r, (*session)->schema()));
-      } else {
-        results.push_back(ErrorJson(r.ok() ? session.status() : r.status()));
-      }
-    }
-    Json::Object obj;
-    obj["ok"] = Json(true);
-    obj["results"] = Json(std::move(results));
-    return with_id(Json(std::move(obj)));
-  }
-
-  if (verb == "apply_delta") {
-    std::string tenant = tenant_of();
-    // The schema is needed to parse the delta's values, so the tenant must
-    // resolve first (this is what makes lazy tenants load on first use).
-    Result<std::shared_ptr<Session>> session = server.tenants().Get(tenant);
-    if (!session.ok()) return with_id(ErrorJson(session.status()));
-    Result<DeltaBatch> delta = DeltaBatchFromJson(req, (*session)->schema());
-    if (!delta.ok()) return with_id(ErrorJson(delta.status()));
-    auto submitted = client.Apply(tenant, std::move(*delta));
-    Result<ApplyStats> stats = submitted.future.get();
-    if (!stats.ok()) return with_id(ErrorJson(stats.status()));
-    return with_id(ToJson(*stats));
-  }
-
-  if (verb == "stats") {
-    const Json* tenant = req.Get("tenant");
-    if (tenant != nullptr && tenant->is_string()) {
-      Result<TenantStats> stats = server.TenantStatsFor(tenant->AsString());
-      if (!stats.ok()) return with_id(ErrorJson(stats.status()));
-      return with_id(ToJson(*stats));
-    }
-    Json reply = ToJson(server.Stats());
-    Json::Array tenants;
-    for (const std::string& name : server.TenantNames()) {
-      tenants.push_back(Json(name));
-    }
-    reply.MutableObject()["tenants"] = Json(std::move(tenants));
-    return with_id(reply);
-  }
-
-  if (verb == "load_snapshot_tenant") {
-    const Json* snapshot = req.Get("snapshot");
-    std::string tenant = tenant_of();
-    if (tenant.empty() || snapshot == nullptr || !snapshot->is_string()) {
-      return with_id(ErrorJson(Status::Error(
-          StatusCode::kInvalidArgument,
-          "load_snapshot_tenant needs 'tenant' and 'snapshot'")));
-    }
-    Status status = server.LoadSnapshotTenant(tenant, snapshot->AsString());
-    if (!status.ok()) return with_id(ErrorJson(status));
-    Json::Object obj;
-    obj["ok"] = Json(true);
-    obj["tenant"] = Json(tenant);
-    return with_id(Json(std::move(obj)));
-  }
-
-  if (verb == "save_snapshot") {
-    const Json* path = req.Get("path");
-    std::string tenant = tenant_of();
-    if (tenant.empty() || path == nullptr || !path->is_string()) {
-      return with_id(ErrorJson(Status::Error(
-          StatusCode::kInvalidArgument,
-          "save_snapshot needs 'tenant' and 'path'")));
-    }
-    auto submitted = client.SaveSnapshot(tenant, path->AsString());
-    Result<std::string> saved = submitted.future.get();
-    if (!saved.ok()) return with_id(ErrorJson(saved.status()));
-    Json::Object obj;
-    obj["ok"] = Json(true);
-    obj["tenant"] = Json(tenant);
-    obj["path"] = Json(*saved);
-    return with_id(Json(std::move(obj)));
-  }
-
-  if (verb == "unload_tenant") {
-    std::string tenant = tenant_of();
-    if (tenant.empty()) {
-      return with_id(ErrorJson(Status::Error(
-          StatusCode::kInvalidArgument, "unload_tenant needs 'tenant'")));
-    }
-    auto submitted = client.UnloadTenant(tenant);
-    Result<bool> unloaded = submitted.future.get();
-    if (!unloaded.ok()) return with_id(ErrorJson(unloaded.status()));
-    Json::Object obj;
-    obj["ok"] = Json(true);
-    obj["tenant"] = Json(tenant);
-    obj["unloaded"] = Json(true);
-    return with_id(Json(std::move(obj)));
-  }
-
-  if (verb == "shutdown") {
-    *request_shutdown = true;
-    Json::Object obj;
-    obj["ok"] = Json(true);
-    obj["stopping"] = Json(true);
-    return with_id(Json(std::move(obj)));
-  }
-
-  return with_id(ErrorJson(Status::Error(
-      StatusCode::kInvalidArgument, "unknown op '" + verb + "'")));
-}
-
-void ServeConnection(Server* server, int fd) {
-  std::string buffer;
-  char chunk[4096];
-  bool alive = true;
-  while (alive && !g_shutdown.load()) {
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<size_t>(n));
-    size_t start = 0;
-    while (alive) {
-      size_t nl = buffer.find('\n', start);
-      if (nl == std::string::npos) break;
-      std::string line = buffer.substr(start, nl - start);
-      start = nl + 1;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      bool request_shutdown = false;
-      alive = SendLine(fd, HandleLine(*server, line, &request_shutdown));
-      if (request_shutdown) {
-        // Reply is on the wire; now break the accept loop.
-        g_shutdown.store(true);
-        if (g_listen_fd >= 0) ::shutdown(g_listen_fd, SHUT_RDWR);
-        alive = false;
-      }
-      alive = alive && !g_shutdown.load();
-    }
-    buffer.erase(0, start);
-  }
-  {
-    std::lock_guard<std::mutex> lock(g_conn_mu);
-    g_conn_fds.erase(std::find(g_conn_fds.begin(), g_conn_fds.end(), fd));
-  }
-  ::close(fd);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  int port = 7423;
   ServerOptions opts;
   opts.workers = 2;
   opts.queue_capacity = 1024;
+  EventLoop::Options loop_opts;
   std::vector<std::string> tenant_specs;
   std::vector<std::string> snapshot_specs;
 
@@ -337,7 +87,7 @@ int main(int argc, char** argv) {
     if (arg == "--port") {
       const char* v = next();
       if (v == nullptr) { std::fprintf(stderr, "--port needs a value\n"); return 2; }
-      port = std::atoi(v);
+      loop_opts.port = std::atoi(v);
     } else if (arg == "--workers") {
       const char* v = next();
       if (v == nullptr) { std::fprintf(stderr, "--workers needs a value\n"); return 2; }
@@ -362,6 +112,22 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) { std::fprintf(stderr, "--max-tenant-bytes needs a value\n"); return 2; }
       opts.max_loaded_tenant_bytes = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--reader-threads") {
+      const char* v = next();
+      if (v == nullptr) { std::fprintf(stderr, "--reader-threads needs a value\n"); return 2; }
+      loop_opts.reader_threads = std::atoi(v);
+    } else if (arg == "--pipeline-depth") {
+      const char* v = next();
+      if (v == nullptr) { std::fprintf(stderr, "--pipeline-depth needs a value\n"); return 2; }
+      loop_opts.max_pipeline_depth = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--quota-rate") {
+      const char* v = next();
+      if (v == nullptr) { std::fprintf(stderr, "--quota-rate needs a value\n"); return 2; }
+      opts.default_quota.rate = std::atof(v);
+    } else if (arg == "--quota-burst") {
+      const char* v = next();
+      if (v == nullptr) { std::fprintf(stderr, "--quota-burst needs a value\n"); return 2; }
+      opts.default_quota.burst = std::atof(v);
     } else if (arg == "--tenant") {
       const char* v = next();
       if (v == nullptr) { std::fprintf(stderr, "--tenant needs NAME=FILE.csv:FD[;FD]\n"); return 2; }
@@ -409,51 +175,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  g_listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (g_listen_fd < 0) { std::perror("socket"); return 1; }
-  int one = 1;
-  ::setsockopt(g_listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(g_listen_fd, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    std::perror("bind");
+  EventLoop loop(&server, loop_opts);
+  Status started = loop.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
     return 1;
   }
-  if (::listen(g_listen_fd, 64) != 0) { std::perror("listen"); return 1; }
-  socklen_t len = sizeof(addr);
-  ::getsockname(g_listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
-  std::printf("retrust_server listening on 127.0.0.1:%d\n",
-              ntohs(addr.sin_port));
+  std::printf("retrust_server listening on 127.0.0.1:%d\n", loop.port());
   std::fflush(stdout);
 
-  // Joinable (never detached) so no handler can outlive the Server; the
-  // handles of finished connections are reaped only at shutdown, which
-  // is fine at this tool's connection scale (one per driving client).
-  std::vector<std::thread> connections;
-  while (!g_shutdown.load()) {
-    int fd = ::accept(g_listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (g_shutdown.load()) break;
-      continue;
-    }
-    {
-      std::lock_guard<std::mutex> lock(g_conn_mu);
-      g_conn_fds.push_back(fd);
-    }
-    connections.emplace_back(ServeConnection, &server, fd);
-  }
-  ::close(g_listen_fd);
-
-  // Force idle connections out of recv(), then wait for every handler to
-  // finish its current reply before tearing the service down.
-  {
-    std::lock_guard<std::mutex> lock(g_conn_mu);
-    for (int fd : g_conn_fds) ::shutdown(fd, SHUT_RDWR);
-  }
-  for (std::thread& conn : connections) conn.join();
+  loop.WaitForShutdownRequest();
+  // Order matters: the LOOP drains and stops first (pending replies reach
+  // the wire), THEN the server joins its workers — so every in-flight
+  // done-callback has fired before anything it touches is torn down.
+  loop.Stop();
   server.Stop();
   std::printf("retrust_server stopped\n");
   return 0;
