@@ -34,6 +34,7 @@
 #include "bench/bench_common.h"
 #include "src/eval/generator.h"
 #include "src/eval/perturb.h"
+#include "src/obs/metrics.h"
 #include "src/service/client.h"
 #include "src/service/event_loop.h"
 #include "src/service/server.h"
@@ -250,6 +251,42 @@ WireRow MeasurePipelined(int port, int connections, int requests_per_conn) {
   return row;
 }
 
+/// One observability A/B arm: a fresh server + loop with the obs layer on
+/// or off (private registry, so arms and trials never share counters),
+/// driven by the pipelined stats workload. Requests carry no trace in
+/// either arm — this measures what observability costs requests that did
+/// NOT ask for it, the ≤5% contract CI gates.
+WireRow MeasureObsMode(bool observability, int connections,
+                       int requests_per_conn) {
+  obs::MetricsRegistry registry;
+  ServerOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = 0;
+  opts.observability = observability;
+  opts.metrics = &registry;
+  Server server(opts);
+  uint64_t seed = 900;
+  Status status =
+      server.LoadTenant("wire", TenantData(50, seed), TenantFds(50, seed));
+  if (!status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  EventLoop::Options loop_opts;
+  loop_opts.port = 0;
+  loop_opts.reader_threads = 4;
+  EventLoop loop(&server, loop_opts);
+  Status started = loop.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    std::exit(1);
+  }
+  WireRow row = MeasurePipelined(loop.port(), connections, requests_per_conn);
+  loop.Stop();
+  server.Stop();
+  return row;
+}
+
 }  // namespace
 
 int main() {
@@ -318,6 +355,28 @@ int main() {
               pipelined.rps(), pipelined.requests);
   std::printf("  pipeline speedup:           %10.2fx\n", speedup);
 
+  // Observability A/B: same binary, obs off vs on, untraced requests.
+  // Three interleaved trials, best rps per arm, so a noise spike in one
+  // trial can't fail the CI gate (obs_overhead_ratio >= 0.95).
+  const int kObsConnections = 32;
+  const int obs_requests_per_conn = bench::ScaledN(256);
+  double obs_off_rps = 0.0, obs_on_rps = 0.0;
+  int obs_requests = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    WireRow off = MeasureObsMode(false, kObsConnections, obs_requests_per_conn);
+    WireRow on = MeasureObsMode(true, kObsConnections, obs_requests_per_conn);
+    if (off.rps() > obs_off_rps) obs_off_rps = off.rps();
+    if (on.rps() > obs_on_rps) obs_on_rps = on.rps();
+    obs_requests = on.requests;
+  }
+  const double obs_ratio = obs_off_rps > 0 ? obs_on_rps / obs_off_rps : 0.0;
+  std::printf("\nobservability overhead, %d pipelined clients x %d requests "
+              "(best of 3):\n",
+              kObsConnections, obs_requests_per_conn);
+  std::printf("  observability off:          %10.0f req/s\n", obs_off_rps);
+  std::printf("  observability on, untraced: %10.0f req/s\n", obs_on_rps);
+  std::printf("  on/off throughput ratio:    %10.3f\n", obs_ratio);
+
   const Row& headline = rows.back();  // 8 workers x 4 tenants
   FILE* json = bench::OpenBenchJson("service");
   if (json != nullptr) {
@@ -342,12 +401,16 @@ int main() {
                  "  \"serial_conn_rps\": %.2f,\n"
                  "  \"pipelined_requests\": %d,\n"
                  "  \"pipelined_rps\": %.2f,\n"
-                 "  \"pipeline_speedup_x\": %.2f\n"
+                 "  \"pipeline_speedup_x\": %.2f,\n"
+                 "  \"obs_requests\": %d,\n"
+                 "  \"obs_off_rps\": %.2f,\n"
+                 "  \"obs_on_rps\": %.2f,\n"
+                 "  \"obs_overhead_ratio\": %.4f\n"
                  "}\n",
                  headline.workers, headline.tenants, headline.rps(),
                  headline.p99, kConnections, serial_conn.requests,
                  serial_conn.rps(), pipelined.requests, pipelined.rps(),
-                 speedup);
+                 speedup, obs_requests, obs_off_rps, obs_on_rps, obs_ratio);
     std::fclose(json);
   }
   return 0;

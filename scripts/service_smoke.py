@@ -28,6 +28,13 @@ order), and ZERO requests were rejected under capacity. Then quota
 fairness: a token-bucket-throttled tenant is flooded and sheds requests
 with Overloaded errors, while a quiet unlimited tenant's concurrent
 requests all succeed — one tenant's rejections never starve another.
+
+The observability phase rides on the same server: the `metrics` verb is
+scraped mid-load and again after the quota flood, asserting counters only
+ever grow, that the registry's completed/rejected_quota series agree with
+the client-side tallies, and that >= 15 distinct series are exposed. A
+repair with "trace": true must return a span tree (untraced repairs must
+not), and `dump_recent` must remember the most recent requests.
 """
 
 import json
@@ -92,6 +99,15 @@ def drive_tenant(port, tenant, rounds, errors):
         conn.close()
     except Exception as e:  # noqa: BLE001 - collect, don't crash the thread
         errors.append(f"{tenant}: {type(e).__name__}: {e}")
+
+
+def parse_metrics(text):
+    """Exposition text -> {series: float}; series keep their labels."""
+    out = {}
+    for line in text.strip().splitlines():
+        series, value = line.rsplit(" ", 1)
+        out[series] = float(value)
+    return out
 
 
 def start_server(server_bin, extra_args):
@@ -292,6 +308,16 @@ def main():
         print(f"pipelined phase: {num_conns} connections x {burst} requests "
               f"ok (p99 {stats['p99_latency_seconds'] * 1e3:.2f}ms)")
 
+        # Mid-load metrics scrape: the registry must already see the
+        # pipelined burst (compared for monotonicity after the quota
+        # phase below).
+        m = ctl.rpc({"op": "metrics"})
+        assert m.get("ok"), m
+        assert m["series"] >= 15, f"too few metric series: {m['series']}"
+        mid_metrics = parse_metrics(m["text"])
+        assert mid_metrics[
+            'retrust_wire_requests_total{verb="repair"}'] >= num_conns * burst
+
         # Quota fairness: "throttled" gets a tiny token bucket and is
         # flooded; "hosp" stays unlimited and runs concurrently. The
         # throttled tenant must shed with Overloaded (synchronously — the
@@ -350,6 +376,56 @@ def main():
             f"non-quota rejections leaked into the quiet tenant: {stats}"
         print(f"quota phase: throttled served={served} shed={shed}, "
               f"quiet tenant all ok")
+
+        # --- observability phase ----------------------------------------
+        # Second scrape: every counter is monotone across scrapes, and the
+        # registry agrees with both the stats verb and the client-side
+        # tallies of the quota flood.
+        m = ctl.rpc({"op": "metrics"})
+        assert m.get("ok"), m
+        metrics = parse_metrics(m["text"])
+        regressed = [s for s, v in mid_metrics.items()
+                     if "_total" in s and metrics.get(s, 0) < v]
+        assert not regressed, f"counters went backwards: {regressed}"
+        assert metrics[
+            'retrust_requests_rejected_total{reason="quota"}'] == shed, \
+            (metrics, shed)
+        assert metrics["retrust_quota_denials_total"] == shed
+        assert metrics["retrust_requests_completed_total"] == \
+            stats["completed"], (metrics, stats)
+        assert metrics["retrust_requests_submitted_total"] == \
+            stats["completed"] + shed
+        print(f"metrics phase: {m['series']} series, counters monotone, "
+              f"registry agrees with client tallies")
+
+        # A traced repair returns its span tree inline; untraced must not.
+        r = ctl.rpc({"op": "repair", "tenant": "hosp", "tau_r": 0.5,
+                     "seed": 1, "trace": True})
+        assert r.get("ok"), r
+        trace = r.get("trace")
+        assert trace and trace["name"] == "request", r
+        top = {s["name"] for s in trace["spans"]}
+        assert {"decode", "queue_wait", "service"} <= top, trace
+        service = next(s for s in trace["spans"] if s["name"] == "service")
+        session = next(s for s in service.get("spans", [])
+                       if s["name"] == "session")
+        assert any(s["name"] == "search" for s in session.get("spans", [])), \
+            trace
+        r = ctl.rpc({"op": "repair", "tenant": "hosp", "tau_r": 0.5,
+                     "seed": 1})
+        assert r.get("ok") and "trace" not in r, r
+
+        # The flight recorder remembers the most recent requests (the
+        # traced + untraced repairs just issued lead, newest first).
+        d = ctl.rpc({"op": "dump_recent", "limit": 5})
+        assert d.get("ok"), d
+        records = d.get("records", [])
+        assert records, d
+        assert records[0]["verb"] == "repair", records[0]
+        assert records[0]["status"] == "ok", records[0]
+        assert records[0]["traced"] is False and records[1]["traced"], records
+        print(f"flight recorder: {len(records)} recent records, "
+              f"newest verb={records[0]['verb']}")
 
         r = ctl.rpc({"op": "shutdown"})
         assert r.get("ok"), r

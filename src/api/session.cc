@@ -589,6 +589,8 @@ ModifyFdsOptions Session::SearchOptions(const RepairRequest& req) const {
   opts.max_visited = req.budget;
   opts.deadline_seconds = req.deadline_seconds;
   opts.cancel = req.cancel;
+  opts.phase_trace =
+      req.trace != nullptr ? &req.trace->search_phases : nullptr;
   // opts.exec stays serial: SessionOptions::exec parallelizes ACROSS
   // batched requests (and shards context builds), never inside one
   // search — the same composition rule exec::Sweep applies to its jobs.
@@ -599,6 +601,14 @@ Result<RepairResponse> Session::Repair(const RepairRequest& req) const {
   std::shared_lock<std::shared_mutex> snapshot(*state_mu_);
   Result<int64_t> tau = ResolveTau(req);
   if (!tau.ok()) return tau.status();
+  // Traced requests get a "session" span (under the service span when the
+  // request came through the queue) with "search" + "materialize" children;
+  // the search span's phase breakdown is filled by the engine via
+  // SearchOptions(). Untraced requests skip every clock read below.
+  obs::TraceSpan* session_span =
+      req.trace != nullptr
+          ? req.trace->SessionParent()->StartChild("session")
+          : nullptr;
   try {
     Timer timer;
     RepairOptions opts;
@@ -606,7 +616,18 @@ Result<RepairResponse> Session::Repair(const RepairRequest& req) const {
     opts.seed = req.seed;
     RepairOutcome outcome =
         RunRepair(*active_->context, *encoded_, *tau, opts);
+    if (session_span != nullptr) {
+      const double total = timer.ElapsedSeconds();
+      obs::TraceSpan* search_span = session_span->StartChild("search");
+      search_span->set_seconds(outcome.stats.seconds);
+      obs::AttachSearchPhases(search_span, req.trace->search_phases);
+      const double materialize = total - outcome.stats.seconds;
+      if (materialize > 0.0) {
+        session_span->StartChild("materialize")->set_seconds(materialize);
+      }
+    }
     if (!outcome.repair.has_value()) {
+      if (session_span != nullptr) session_span->Finish();
       return NoRepairStatus(outcome.termination, *tau);
     }
     RepairResponse response;
@@ -614,8 +635,10 @@ Result<RepairResponse> Session::Repair(const RepairRequest& req) const {
     response.tau = *tau;
     response.seconds = timer.ElapsedSeconds();
     response.termination = outcome.termination;
+    if (session_span != nullptr) session_span->Finish();
     return response;
   } catch (const std::exception& e) {
+    if (session_span != nullptr) session_span->Finish();
     return Status::Error(StatusCode::kInternal, e.what());
   }
 }

@@ -42,6 +42,7 @@
 #include "src/api/status.h"
 #include "src/exec/cancel.h"
 #include "src/exec/sweep.h"
+#include "src/obs/trace.h"
 #include "src/persist/journal.h"
 #include "src/relational/delta.h"
 #include "src/repair/multi_repair.h"
@@ -154,6 +155,11 @@ struct RepairRequest {
   /// Optional cooperative cancellation; kCancelled when it fires first.
   /// Not owned — must outlive the request's execution.
   const exec::CancelToken* cancel = nullptr;
+  /// Per-request trace (src/obs/trace.h). Null (the default) disables
+  /// tracing entirely; when set, the Session attaches session/search
+  /// spans and the engine fills the phase accumulators. Shared so the
+  /// trace survives the request being copied into service closures.
+  std::shared_ptr<obs::RequestTrace> trace;
 
   static RepairRequest At(int64_t tau) {
     RepairRequest r;

@@ -50,8 +50,23 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    busy_.fetch_add(1, std::memory_order_relaxed);
     task();  // tasks never throw: TaskGroup::Execute catches everything
+    busy_.fetch_sub(1, std::memory_order_relaxed);
+    executed_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+PoolStats ThreadPool::GetStats() const {
+  PoolStats stats;
+  stats.threads = num_threads();
+  stats.busy = busy_.load(std::memory_order_relaxed);
+  stats.executed = executed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.queued = queue_.size();
+  }
+  return stats;
 }
 
 std::unique_ptr<ThreadPool> MakePool(const Options& opts) {

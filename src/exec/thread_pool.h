@@ -7,7 +7,9 @@
 #ifndef RETRUST_EXEC_THREAD_POOL_H_
 #define RETRUST_EXEC_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -19,6 +21,16 @@
 #include "src/exec/options.h"
 
 namespace retrust::exec {
+
+/// Point-in-time utilization snapshot of one pool, sampled by the metrics
+/// registry probe (src/obs/metrics.h). `busy`/`queued` are instantaneous;
+/// `executed` is monotone.
+struct PoolStats {
+  int threads = 0;        ///< worker count (fixed at construction)
+  int busy = 0;           ///< workers currently inside a task
+  size_t queued = 0;      ///< tasks waiting in the FIFO
+  uint64_t executed = 0;  ///< tasks completed since construction
+};
 
 /// A fixed-size pool of worker threads executing submitted closures in FIFO
 /// order. Construction spawns the workers; destruction drains nothing —
@@ -51,13 +63,19 @@ class ThreadPool {
   /// here because session-pool tasks never wait on request workers.
   static const ThreadPool* CurrentWorkerPool();
 
+  /// Utilization snapshot (two relaxed atomic loads plus one lock for the
+  /// queue depth); safe from any thread.
+  PoolStats GetStats() const;
+
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
+  std::atomic<int> busy_{0};
+  std::atomic<uint64_t> executed_{0};
   std::vector<std::thread> workers_;
 };
 

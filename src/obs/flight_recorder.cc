@@ -1,0 +1,105 @@
+#include "src/obs/flight_recorder.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace retrust::obs {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendSpan(const TraceSpan& span, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %.6fs", span.seconds());
+  out->append(span.name());
+  out->append(buf);
+  if (span.count() > 1) {
+    std::snprintf(buf, sizeof(buf), " x%" PRIu64, span.count());
+    out->append(buf);
+  }
+  out->push_back('\n');
+  for (const auto& child : span.children()) {
+    AppendSpan(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+void FlightRecorder::Record(FlightRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    next_ = ring_.size() % capacity_;
+    return;
+  }
+  ring_[next_] = std::move(record);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<FlightRecord> FlightRecorder::Recent(size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t available = ring_.size();
+  size_t n = (limit == 0 || limit > available) ? available : limit;
+  std::vector<FlightRecord> out;
+  out.reserve(n);
+  // next_ is one past the newest record once the ring wrapped; before
+  // that the newest is the vector's back.
+  size_t newest = ring_.size() < capacity_ ? ring_.size() : next_;
+  for (size_t i = 0; i < n; ++i) {
+    newest = (newest + available - 1) % available;
+    out.push_back(ring_[newest]);
+  }
+  return out;
+}
+
+uint64_t FlightRecorder::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+bool SlowRequestLog::MaybeLog(const FlightRecord& record,
+                              const RequestTrace* trace) {
+  if (threshold_seconds_ <= 0.0 ||
+      record.total_seconds < threshold_seconds_) {
+    return false;
+  }
+  slow_seen_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double now = MonotonicSeconds();
+    if (last_log_seconds_ >= 0.0 &&
+        now - last_log_seconds_ < min_interval_seconds_) {
+      return false;
+    }
+    last_log_seconds_ = now;
+  }
+  std::string message;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "[retrust] slow request id=%" PRIu64
+                " tenant=%s verb=%s status=%s total=%.6fs queue_wait=%.6fs"
+                " service=%.6fs\n",
+                record.id, record.tenant.c_str(), record.verb.c_str(),
+                record.status.c_str(), record.total_seconds,
+                record.queue_wait_seconds, record.service_seconds);
+  message = buf;
+  if (trace != nullptr) message += RenderSpanTree(trace->root);
+  std::fputs(message.c_str(), stderr);
+  return true;
+}
+
+std::string RenderSpanTree(const TraceSpan& root) {
+  std::string out;
+  AppendSpan(root, 1, &out);
+  return out;
+}
+
+}  // namespace retrust::obs

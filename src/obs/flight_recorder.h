@@ -1,0 +1,95 @@
+// Flight recorder: a fixed-size ring buffer of the last N finished request
+// records, dumped on demand by the `dump_recent` wire verb, plus a
+// rate-limited slow-request log that writes a request's full span tree to
+// stderr when its end-to-end time crosses a threshold.
+//
+// Recording is one mutex-guarded ring-slot write per finished request —
+// bounded memory, no allocation after warm-up beyond the record's strings,
+// and never on the wire fast path (inline verbs like `stats` do not go
+// through the queue and are not recorded).
+
+#ifndef RETRUST_OBS_FLIGHT_RECORDER_H_
+#define RETRUST_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace retrust::obs {
+
+/// One finished request, as remembered by the flight recorder.
+struct FlightRecord {
+  uint64_t id = 0;
+  std::string tenant;
+  std::string verb;
+  std::string status;  ///< "ok" or the terminal status/error label
+  double queue_wait_seconds = 0.0;
+  double service_seconds = 0.0;
+  double total_seconds = 0.0;  ///< submit -> reply
+  int64_t search_states_visited = 0;
+  uint64_t search_expansions = 0;
+  bool traced = false;
+};
+
+/// Ring buffer of the most recent records. Thread-safe; Recent() returns
+/// newest-first copies.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void Record(FlightRecord record);
+
+  /// Up to `limit` most recent records, newest first (0 = all retained).
+  std::vector<FlightRecord> Recent(size_t limit = 0) const;
+
+  /// Total records ever written (>= retained count).
+  uint64_t TotalRecorded() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<FlightRecord> ring_;  // grows to capacity_, then wraps
+  size_t next_ = 0;                 // ring slot the next record lands in
+  uint64_t total_ = 0;
+};
+
+/// Rate-limited slow-request stderr log. Threshold <= 0 disables it.
+class SlowRequestLog {
+ public:
+  SlowRequestLog(double threshold_seconds, double min_interval_seconds)
+      : threshold_seconds_(threshold_seconds),
+        min_interval_seconds_(min_interval_seconds) {}
+
+  /// Logs the record (and its span tree when traced) to stderr if it is
+  /// over threshold and the rate limit allows; returns true when logged.
+  bool MaybeLog(const FlightRecord& record, const RequestTrace* trace);
+
+  /// Slow requests seen over threshold, logged or suppressed.
+  uint64_t SlowSeen() const {
+    return slow_seen_.load(std::memory_order_relaxed);
+  }
+
+  double threshold_seconds() const { return threshold_seconds_; }
+
+ private:
+  const double threshold_seconds_;
+  const double min_interval_seconds_;
+  std::atomic<uint64_t> slow_seen_{0};
+  std::mutex mu_;
+  double last_log_seconds_ = -1.0;  // monotonic; -1 = never logged
+};
+
+/// Renders a span tree as indented `name seconds [xN]` lines (for the
+/// slow-request log and tests).
+std::string RenderSpanTree(const TraceSpan& root);
+
+}  // namespace retrust::obs
+
+#endif  // RETRUST_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,73 @@
+// Fixed log-bucketed latency histogram, promoted out of the service layer
+// so the metrics registry (src/obs/metrics.h), the server's stats
+// snapshots, and the wire exposition all share one implementation.
+//
+// The histogram trades precision for a fixed footprint: 64 geometric
+// buckets spanning [1 µs, ~200 s] (ratio ≈ 1.38), so recording is O(1),
+// snapshots are cheap to copy, and percentiles are read without touching
+// the raw samples. Callers provide locking (the Server records under its
+// stats mutex).
+
+#ifndef RETRUST_OBS_HISTOGRAM_H_
+#define RETRUST_OBS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace retrust::obs {
+
+/// Fixed-size latency histogram; Percentile reports a bucket upper bound
+/// clamped to the maximum recorded value, so p50/p99 are conservative
+/// (never under-report) but can never exceed the observed maximum.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(double seconds) {
+    ++counts_[BucketOf(seconds)];
+    ++total_;
+    if (seconds > max_seconds_) max_seconds_ = seconds;
+  }
+
+  /// Latency at quantile `q` in [0, 1] (0 when nothing was recorded).
+  double Percentile(double q) const {
+    if (total_ == 0) return 0.0;
+    uint64_t want = static_cast<uint64_t>(std::ceil(q * total_));
+    if (want < 1) want = 1;
+    uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts_[b];
+      if (seen >= want) return std::min(UpperBound(b), max_seconds_);
+    }
+    return std::min(UpperBound(kBuckets - 1), max_seconds_);
+  }
+
+  uint64_t count() const { return total_; }
+  double max_seconds() const { return max_seconds_; }
+
+ private:
+  static constexpr double kMinSeconds = 1e-6;
+  static constexpr double kRatio = 1.38;  // 1e-6 * 1.38^63 ≈ 6e2 s
+
+  static int BucketOf(double seconds) {
+    if (!(seconds > kMinSeconds)) return 0;  // also catches NaN/negative
+    int b = static_cast<int>(std::log(seconds / kMinSeconds) /
+                             std::log(kRatio)) +
+            1;
+    return b >= kBuckets ? kBuckets - 1 : b;
+  }
+
+  static double UpperBound(int bucket) {
+    return kMinSeconds * std::pow(kRatio, bucket);
+  }
+
+  std::array<uint64_t, kBuckets> counts_{};
+  uint64_t total_ = 0;
+  double max_seconds_ = 0.0;
+};
+
+}  // namespace retrust::obs
+
+#endif  // RETRUST_OBS_HISTOGRAM_H_

@@ -1,0 +1,156 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+
+namespace retrust::obs {
+
+namespace {
+
+// Doubles print with enough digits to round-trip; integral samples print
+// without a fraction so counter lines are stable and diffable.
+std::string FormatValue(double value, bool integral) {
+  char buf[40];
+  if (integral) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                  static_cast<uint64_t>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int Counter::ShardIndex() {
+  // Hash the thread id once per thread; consecutive Add() calls from one
+  // thread hit the same padded slot with no contention.
+  static thread_local const int slot = static_cast<int>(
+      std::hash<std::thread::id>()(std::this_thread::get_id()) %
+      static_cast<size_t>(kShards));
+  return slot;
+}
+
+void Collector::Gauge(const std::string& name, const Labels& labels,
+                      double value) {
+  samples_.push_back(
+      {MetricsRegistry::RenderSeries(name, labels), value, false});
+}
+
+void Collector::CounterSample(const std::string& name, const Labels& labels,
+                              uint64_t value) {
+  samples_.push_back({MetricsRegistry::RenderSeries(name, labels),
+                      static_cast<double>(value), true});
+}
+
+void Collector::Histogram(const std::string& name, Labels labels,
+                          const LatencyHistogram& hist) {
+  labels["quantile"] = "0.5";
+  samples_.push_back(
+      {MetricsRegistry::RenderSeries(name, labels), hist.Percentile(0.5),
+       false});
+  labels["quantile"] = "0.99";
+  samples_.push_back(
+      {MetricsRegistry::RenderSeries(name, labels), hist.Percentile(0.99),
+       false});
+  labels.erase("quantile");
+  samples_.push_back({MetricsRegistry::RenderSeries(name + "_count", labels),
+                      static_cast<double>(hist.count()), true});
+}
+
+MetricsRegistry::Registration& MetricsRegistry::Registration::operator=(
+    Registration&& other) noexcept {
+  if (this != &other) {
+    Release();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void MetricsRegistry::Registration::Release() {
+  if (registry_ != nullptr) {
+    registry_->Unregister(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  const std::string series = RenderSeries(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[series];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+MetricsRegistry::Registration MetricsRegistry::RegisterProbe(
+    std::function<void(Collector&)> probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_probe_id_++;
+  probes_.emplace(id, std::move(probe));
+  return Registration(this, id);
+}
+
+void MetricsRegistry::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_.erase(id);
+}
+
+std::vector<std::string> MetricsRegistry::CollectLines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> lines;
+  lines.reserve(counters_.size());
+  for (const auto& [series, counter] : counters_) {
+    lines.push_back(series + " " +
+                    FormatValue(static_cast<double>(counter->Value()), true));
+  }
+  Collector collector;
+  for (const auto& [id, probe] : probes_) probe(collector);
+  for (const Collector::Sample& s : collector.samples_) {
+    lines.push_back(s.series + " " + FormatValue(s.value, s.integral));
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+std::string MetricsRegistry::ExpositionText() const {
+  std::string out;
+  for (const std::string& line : CollectLines()) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+size_t MetricsRegistry::SeriesCount() const { return CollectLines().size(); }
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string MetricsRegistry::RenderSeries(const std::string& name,
+                                          const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {  // std::map: sorted by key
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace retrust::obs

@@ -1,0 +1,160 @@
+// Process-wide metrics registry: named counters with sharded recording,
+// sampled gauges/histograms supplied by probe callbacks, and a text
+// exposition snapshot in the Prometheus line format
+// (`name{label="v"} value`, sorted, one series per line).
+//
+// Two kinds of series coexist:
+//
+//  * Counter — owned by the registry, get-or-create by (name, labels),
+//    bumped directly on hot paths. Recording is a relaxed fetch_add on a
+//    cache-line-padded shard picked by thread, so concurrent writers do
+//    not bounce one line; reads sum the shards.
+//  * Probe — a callback registered with an RAII handle that samples
+//    component state (queue depth, pool utilization, cache hit counts,
+//    latency quantiles) into a Collector at exposition time. Components
+//    keep their own authoritative state; the probe is a read-only view,
+//    so registering observability never changes component behavior.
+//
+// Probe handles unregister under the registry mutex, so a component may
+// destroy itself safely after its Registration is gone: no exposition can
+// be mid-flight through its callback. Counters are never removed and
+// references to them stay valid for the registry's lifetime.
+
+#ifndef RETRUST_OBS_METRICS_H_
+#define RETRUST_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/histogram.h"
+
+namespace retrust::obs {
+
+/// Label set of one series; rendered sorted by key, so a given map always
+/// produces the same series identity.
+using Labels = std::map<std::string, std::string>;
+
+/// Monotonic counter with per-thread sharding. Add() is a relaxed
+/// fetch_add on one of kShards cache-line-padded slots; Value() sums
+/// them (monotone but not a point-in-time snapshot, which is fine for
+/// counters).
+class Counter {
+ public:
+  static constexpr int kShards = 8;
+
+  void Add(uint64_t n = 1) {
+    shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static int ShardIndex();
+
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Sink a probe callback writes samples into. One Gauge/CounterSample call
+/// emits one exposition line; Histogram expands into quantile series plus
+/// a _count series.
+class Collector {
+ public:
+  void Gauge(const std::string& name, const Labels& labels, double value);
+  /// A counter whose authoritative value lives in the component (e.g. a
+  /// ServerStats atomic) and is only sampled here.
+  void CounterSample(const std::string& name, const Labels& labels,
+                     uint64_t value);
+  /// Emits name{...,quantile="0.5"}, {...,quantile="0.99"}, and
+  /// name_count{...}.
+  void Histogram(const std::string& name, Labels labels,
+                 const LatencyHistogram& hist);
+
+ private:
+  friend class MetricsRegistry;
+  struct Sample {
+    std::string series;  // rendered `name{k="v",...}`
+    double value = 0.0;
+    bool integral = false;
+  };
+  std::vector<Sample> samples_;
+};
+
+/// Registry of counters and probes. One process-wide instance is reachable
+/// via Global(); tests construct their own to avoid cross-talk.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// RAII handle for a registered probe; unregisters on destruction.
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& other) noexcept { *this = std::move(other); }
+    Registration& operator=(Registration&& other) noexcept;
+    ~Registration() { Release(); }
+
+    void Release();
+
+   private:
+    friend class MetricsRegistry;
+    Registration(MetricsRegistry* registry, uint64_t id)
+        : registry_(registry), id_(id) {}
+    MetricsRegistry* registry_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  /// Get-or-create the counter for (name, labels). The reference stays
+  /// valid for the registry's lifetime.
+  Counter& GetCounter(const std::string& name, const Labels& labels = {});
+
+  /// Registers a sampling callback run at every ExpositionText(). The
+  /// callback must not call back into this registry.
+  [[nodiscard]] Registration RegisterProbe(
+      std::function<void(Collector&)> probe);
+
+  /// Renders every counter and probe sample as sorted
+  /// `name{label="v"} value` lines (trailing newline included when any
+  /// series exists).
+  std::string ExpositionText() const;
+
+  /// Number of distinct series the last ExpositionText() would emit now.
+  size_t SeriesCount() const;
+
+  /// The process-wide registry.
+  static MetricsRegistry& Global();
+
+  /// Renders `name{k="v",...}` with labels sorted by key; bare `name`
+  /// when labels are empty.
+  static std::string RenderSeries(const std::string& name,
+                                  const Labels& labels);
+
+ private:
+  void Unregister(uint64_t id);
+  std::vector<std::string> CollectLines() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;  // key: series
+  std::map<uint64_t, std::function<void(Collector&)>> probes_;
+  uint64_t next_probe_id_ = 1;
+};
+
+}  // namespace retrust::obs
+
+#endif  // RETRUST_OBS_METRICS_H_

@@ -1,0 +1,20 @@
+#include "src/obs/trace.h"
+
+namespace retrust::obs {
+
+void AttachSearchPhases(TraceSpan* search_span,
+                        const SearchPhaseStats& phases) {
+  const auto attach = [search_span](const char* name, double seconds,
+                                    uint64_t count) {
+    if (count == 0) return;
+    TraceSpan* span = search_span->StartChild(name);
+    span->set_seconds(seconds);
+    span->set_count(count);
+  };
+  attach("expand", phases.expand_seconds, phases.expand_count);
+  attach("evaluate", phases.evaluate_seconds, phases.evaluate_count);
+  attach("cover", phases.cover_seconds, phases.cover_count);
+  attach("bound", phases.bound_seconds, phases.bound_count);
+}
+
+}  // namespace retrust::obs

@@ -21,6 +21,7 @@
 #include "src/exec/cancel.h"
 #include "src/exec/options.h"
 #include "src/fd/difference_set.h"
+#include "src/obs/trace.h"
 #include "src/repair/evaluation.h"
 #include "src/repair/heuristic.h"
 #include "src/repair/state_space.h"
@@ -68,6 +69,12 @@ struct ModifyFdsOptions {
   /// of the open list still get evaluated) — compare those counters across
   /// search modes only at num_threads = 1.
   exec::Options exec;
+  /// Per-phase wall-time accumulators (expand/evaluate/cover/bound) for
+  /// request tracing. Null (the default) disables instrumentation: the
+  /// engine's hot loop then does no clock reads for tracing, and the
+  /// search outcome is unaffected either way — timing never feeds back
+  /// into the schedule.
+  obs::SearchPhaseStats* phase_trace = nullptr;
 };
 
 /// One FD repair: the chosen relaxation plus its measurements.

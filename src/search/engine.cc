@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 
 #include "src/exec/thread_pool.h"
+#include "src/obs/trace.h"
 #include "src/search/bound.h"
 #include "src/util/timer.h"
 
@@ -131,6 +133,10 @@ ModifyFdsResult RunSearch(const FdSearchContext& ctx, int64_t tau,
   Timer timer;
   ModifyFdsResult result;
   SearchStats& stats = result.stats;
+  // Phase tracing: null on the untraced path, so every hook below is one
+  // pointer test and no clock read. Timing never feeds into the schedule,
+  // so traced and untraced searches visit identical states.
+  obs::SearchPhaseStats* const phases = opts.phase_trace;
   const bool astar = opts.mode == SearchMode::kAStar;
   const SearchPolicy policy = opts.policy.policy;
   const bool exact = policy == SearchPolicy::kExact;
@@ -214,7 +220,14 @@ ModifyFdsResult RunSearch(const FdSearchContext& ctx, int64_t tau,
 
     if (!top.evaluated) {
       // Deferred gc evaluation (A* only); memoized when speculated.
-      double gc = evaluator.Gc(top.state, &stats);
+      double gc;
+      {
+        std::optional<obs::PhaseTimer> t;
+        if (phases != nullptr) {
+          t.emplace(&phases->evaluate_seconds, &phases->evaluate_count);
+        }
+        gc = evaluator.Gc(top.state, &stats);
+      }
       if (gc == GcHeuristic::kInfinity) continue;  // no goal below here
       if (exact) {
         top.priority = std::max(gc, top.cost);
@@ -258,13 +271,28 @@ ModifyFdsResult RunSearch(const FdSearchContext& ctx, int64_t tau,
       // Admissible δP floor: if even the matching over this state's DEAD
       // groups keeps δP above τ for every descendant, the whole subtree
       // is goal-free.
-      if (lb->DeltaPFloor(top.state, &stats) > tau) {
+      int64_t floor_value;
+      {
+        std::optional<obs::PhaseTimer> t;
+        if (phases != nullptr) {
+          t.emplace(&phases->bound_seconds, &phases->bound_count);
+        }
+        floor_value = lb->DeltaPFloor(top.state, &stats);
+      }
+      if (floor_value > tau) {
         ++stats.lb_prunes;
         continue;
       }
     }
 
-    int64_t cover = evaluator.Cover(top.state, &stats);
+    int64_t cover;
+    {
+      std::optional<obs::PhaseTimer> t;
+      if (phases != nullptr) {
+        t.emplace(&phases->cover_seconds, &phases->cover_count);
+      }
+      cover = evaluator.Cover(top.state, &stats);
+    }
     int64_t delta_p = ctx.alpha() * cover;
     if (delta_p <= tau) {
       // Goal state.
@@ -301,6 +329,10 @@ ModifyFdsResult RunSearch(const FdSearchContext& ctx, int64_t tau,
     // the ones surviving the bound check are (optionally) evaluated
     // speculatively in parallel before being pushed in canonical order.
     ++stats.expansions;
+    std::optional<obs::PhaseTimer> expand_timer;
+    if (phases != nullptr) {
+      expand_timer.emplace(&phases->expand_seconds, &phases->expand_count);
+    }
     std::vector<SearchState> children = ctx.space().Children(top.state);
     std::vector<double> lower(children.size());
     std::vector<double> child_cost(children.size());

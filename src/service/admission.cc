@@ -72,4 +72,19 @@ void AdmissionController::Snapshot(ServerStats* out) const {
   out->rejected_quota = rejected_quota_;
 }
 
+AdmissionController::RejectionCounts AdmissionController::Rejections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RejectionCounts counts;
+  counts.queue_full = rejected_queue_full_;
+  counts.tenant_cap = rejected_tenant_cap_;
+  counts.deadline = rejected_deadline_;
+  counts.quota = rejected_quota_;
+  return counts;
+}
+
+double AdmissionController::LatencyEwmaSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return have_ewma_ ? ewma_seconds_ : 0.0;
+}
+
 }  // namespace retrust::service

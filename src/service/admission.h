@@ -71,6 +71,21 @@ class AdmissionController {
   /// Copies the rejection counters into a stats snapshot.
   void Snapshot(ServerStats* out) const;
 
+  /// Point-in-time rejection tallies, one per gate. Sampled by the metrics
+  /// registry probe (src/obs/metrics.h), which labels each gate as a
+  /// `rejected_total{reason=...}` series.
+  struct RejectionCounts {
+    uint64_t queue_full = 0;
+    uint64_t tenant_cap = 0;
+    uint64_t deadline = 0;
+    uint64_t quota = 0;
+  };
+  RejectionCounts Rejections() const;
+
+  /// Current service-latency EWMA (gate 4's estimate base); 0 until the
+  /// first observation. Exposed as a gauge.
+  double LatencyEwmaSeconds() const;
+
   const Options& options() const { return opts_; }
 
  private:

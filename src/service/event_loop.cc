@@ -170,6 +170,18 @@ Status EventLoop::Start() {
   wake_ = std::make_shared<Wake>();
   wake_->write_fd = pipe_fds[1];
 
+  if (obs::MetricsRegistry* registry = server_->metrics()) {
+    // Resolve one counter per known verb up front: line dispatch then bumps
+    // a sharded counter without ever touching the registry mutex.
+    for (const char* verb :
+         {"load_tenant", "repair", "sweep", "apply_delta", "stats",
+          "load_snapshot_tenant", "save_snapshot", "unload_tenant",
+          "shutdown", "metrics", "dump_recent"}) {
+      verb_counters_[verb] = &registry->GetCounter(
+          "retrust_wire_requests_total", {{"verb", verb}});
+    }
+  }
+
   reader_pool_ = std::make_unique<exec::ThreadPool>(opts_.reader_threads);
   loop_thread_ = std::thread(&EventLoop::LoopThread, this);
   return Status::Ok();
@@ -427,7 +439,15 @@ void EventLoop::DrainStrand(std::shared_ptr<Conn> conn) {
 
 void EventLoop::HandleLine(const std::shared_ptr<Conn>& conn,
                            std::string line) {
+  // Decode is timed unconditionally (two clock reads per line, noise next
+  // to the parse itself) because whether the request asked for a trace is
+  // only known AFTER parsing.
+  const auto decode_start = std::chrono::steady_clock::now();
   Result<Json> parsed = ParseJson(line);
+  const double decode_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    decode_start)
+          .count();
   if (!parsed.ok()) {
     QueueReply(conn, ErrorJson(parsed.status()).Dump(),
                /*finishes_request=*/true);
@@ -459,6 +479,10 @@ void EventLoop::HandleLine(const std::shared_ptr<Conn>& conn,
     return tenant != nullptr && tenant->is_string() ? tenant->AsString() : "";
   };
   const std::string verb = op->AsString();
+  if (!verb_counters_.empty()) {
+    auto counter = verb_counters_.find(verb);
+    if (counter != verb_counters_.end()) counter->second->Add();
+  }
   Server& server = *server_;
   Client client = server.client();
 
@@ -518,21 +542,35 @@ void EventLoop::HandleLine(const std::shared_ptr<Conn>& conn,
     }
     std::string tenant = tenant_of();
     Server* srv = server_;
+    std::shared_ptr<obs::RequestTrace> trace = repair->trace;
+    if (trace != nullptr) {
+      trace->root.StartChild("decode")->set_seconds(decode_seconds);
+    }
     client.RepairAsync(
         tenant, *repair,
-        [reply, srv, tenant](Result<RepairResponse> response) {
+        [reply, srv, tenant, trace](Result<RepairResponse> response) {
+          // Attached to errors too: a traced request that failed still
+          // tells the caller where its time went. The untraced path is
+          // untouched — replies stay byte-identical.
+          auto with_trace = [&trace](Json value) {
+            if (trace != nullptr) {
+              trace->root.Finish();
+              value.MutableObject()["trace"] = ToJson(trace->root);
+            }
+            return value;
+          };
           if (!response.ok()) {
-            reply(ErrorJson(response.status()));
+            reply(with_trace(ErrorJson(response.status())));
             return;
           }
           // The schema reference is safe: the tenant resolved (the
           // repair ran).
           Result<std::shared_ptr<Session>> session = srv->tenants().Get(tenant);
           if (!session.ok()) {
-            reply(ErrorJson(session.status()));
+            reply(with_trace(ErrorJson(session.status())));
             return;
           }
-          reply(ToJson(*response, (*session)->schema()));
+          reply(with_trace(ToJson(*response, (*session)->schema())));
         });
     return;
   }
@@ -687,6 +725,43 @@ void EventLoop::HandleLine(const std::shared_ptr<Conn>& conn,
       obj["unloaded"] = Json(true);
       reply(Json(std::move(obj)));
     });
+    return;
+  }
+
+  if (verb == "metrics") {
+    obs::MetricsRegistry* registry = server.metrics();
+    if (registry == nullptr) {
+      reply(ErrorJson(Status::Error(StatusCode::kInvalidArgument,
+                                    "observability is disabled")));
+      return;
+    }
+    Json::Object obj;
+    obj["ok"] = Json(true);
+    obj["series"] = Json(static_cast<uint64_t>(registry->SeriesCount()));
+    obj["text"] = Json(registry->ExpositionText());
+    reply(Json(std::move(obj)));
+    return;
+  }
+
+  if (verb == "dump_recent") {
+    size_t limit = 0;
+    if (const Json* raw = req.Get("limit")) {
+      if (!raw->is_number() || raw->AsInt() < 0) {
+        reply(ErrorJson(
+            Status::Error(StatusCode::kInvalidArgument,
+                          "'limit' must be a non-negative integer")));
+        return;
+      }
+      limit = static_cast<size_t>(raw->AsInt());
+    }
+    Json::Array records;
+    for (const obs::FlightRecord& record : server.RecentRequests(limit)) {
+      records.push_back(ToJson(record));
+    }
+    Json::Object obj;
+    obj["ok"] = Json(true);
+    obj["records"] = Json(std::move(records));
+    reply(Json(std::move(obj)));
     return;
   }
 

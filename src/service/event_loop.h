@@ -55,6 +55,7 @@
 
 #include "src/api/status.h"
 #include "src/exec/thread_pool.h"
+#include "src/obs/metrics.h"
 
 namespace retrust::service {
 
@@ -195,6 +196,11 @@ class EventLoop {
 
   std::unique_ptr<exec::ThreadPool> reader_pool_;
   std::thread loop_thread_;
+
+  /// Per-verb wire counters, resolved once at Start() so the hot line
+  /// dispatch never takes the registry lock. Empty when the server runs
+  /// without observability.
+  std::map<std::string, obs::Counter*> verb_counters_;
 };
 
 }  // namespace retrust::service

@@ -37,6 +37,7 @@
 
 #include "src/api/session.h"
 #include "src/exec/cancel.h"
+#include "src/obs/trace.h"
 #include "src/service/admission.h"
 
 namespace retrust::service {
@@ -50,6 +51,21 @@ struct PendingRequest {
   uint64_t id = 0;
   std::string tenant;
   bool is_write = false;  ///< apply_delta: the per-tenant barrier verb
+
+  /// Verb name for the flight recorder ("repair", "sweep", ...). Always a
+  /// string literal, so a plain pointer is safe.
+  const char* verb = "";
+
+  /// Per-request trace, null unless the caller opted in. Shared so the
+  /// trace outlives the queue entry (the reply callback still reads it
+  /// after the request is released).
+  std::shared_ptr<obs::RequestTrace> trace;
+
+  /// Search-layer counters of the executed verb, filled by the verb
+  /// closure (via Server::RecordSearchStats) for the flight record. Zero
+  /// for non-search verbs.
+  int64_t search_states_visited = 0;
+  uint64_t search_expansions = 0;
 
   /// End-to-end deadline budget in seconds from submission (0 = none;
   /// negative = pre-expired, rejected at admission). Queue wait counts

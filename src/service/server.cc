@@ -17,6 +17,21 @@ AdmissionController::Options AdmissionOptions(const ServerOptions& opts,
   return a;
 }
 
+/// Flight-record status label of a type-erased reply: a Result carries its
+/// own status, a sweep reply is labelled by its first non-ok entry.
+template <typename X>
+const char* ReplyStatusLabel(const Result<X>& reply) {
+  return reply.ok() ? "ok" : StatusCodeName(reply.status().code());
+}
+
+template <typename X>
+const char* ReplyStatusLabel(const std::vector<Result<X>>& replies) {
+  for (const Result<X>& reply : replies) {
+    if (!reply.ok()) return StatusCodeName(reply.status().code());
+  }
+  return "ok";
+}
+
 }  // namespace
 
 Server::Server(ServerOptions opts)
@@ -32,6 +47,16 @@ Server::Server(ServerOptions opts)
       queue_(&admission_),
       worker_pool_(std::make_unique<exec::ThreadPool>(
           opts_.workers < 1 ? 1 : opts_.workers)) {
+  if (opts_.observability) {
+    metrics_ = opts_.metrics != nullptr ? opts_.metrics
+                                        : &obs::MetricsRegistry::Global();
+    recorder_ =
+        std::make_unique<obs::FlightRecorder>(opts_.flight_recorder_capacity);
+    slow_log_ = std::make_unique<obs::SlowRequestLog>(
+        opts_.slow_request_seconds, /*min_interval_seconds=*/1.0);
+    metrics_probe_ = metrics_->RegisterProbe(
+        [this](obs::Collector& out) { CollectMetrics(out); });
+  }
   if (opts_.start_paused) queue_.Pause();
   const int workers = opts_.workers < 1 ? 1 : opts_.workers;
   for (int i = 0; i < workers; ++i) {
@@ -82,8 +107,9 @@ void Server::Stop() {
 }
 
 template <typename T>
-uint64_t Server::SubmitAsync(const std::string& tenant, bool is_write,
-                             double deadline_seconds,
+uint64_t Server::SubmitAsync(const std::string& tenant, const char* verb,
+                             bool is_write, double deadline_seconds,
+                             std::shared_ptr<obs::RequestTrace> trace,
                              std::function<T(Session&, PendingRequest&)> run,
                              std::function<T(const Status&)> on_fail,
                              std::function<void(T)> done) {
@@ -110,6 +136,8 @@ uint64_t Server::SubmitAsync(const std::string& tenant, bool is_write,
   req->id = id;
   req->tenant = tenant;
   req->is_write = is_write;
+  req->verb = verb;
+  req->trace = std::move(trace);
   req->deadline_seconds = deadline_seconds;
   req->submitted = std::chrono::steady_clock::now();
   // Both wrappers finish ALL bookkeeping (live_ removal, counters,
@@ -122,7 +150,12 @@ uint64_t Server::SubmitAsync(const std::string& tenant, bool is_write,
     const double queue_wait = std::chrono::duration<double>(
                                   exec_start - pending.submitted)
                                   .count();
+    if (pending.trace != nullptr) {
+      pending.trace->root.StartChild("queue_wait")->set_seconds(queue_wait);
+      pending.trace->service = pending.trace->root.StartChild("service");
+    }
     T reply = run(session, pending);
+    if (pending.trace != nullptr) pending.trace->service->Finish();
     // Two different clocks on purpose: the admission EWMA needs pure
     // SERVICE time (its wait estimate multiplies by queue depth — feeding
     // it end-to-end latency would double-count the queue and shed
@@ -143,6 +176,8 @@ uint64_t Server::SubmitAsync(const std::string& tenant, bool is_write,
     }
     admission_.ObserveLatency(service_seconds);
     ++completed_;
+    RecordFlight(pending, ReplyStatusLabel(reply), queue_wait,
+                 service_seconds, latency);
     if (pending.release) {
       std::function<void()> release = std::move(pending.release);
       pending.release = nullptr;
@@ -156,6 +191,9 @@ uint64_t Server::SubmitAsync(const std::string& tenant, bool is_write,
       std::lock_guard<std::mutex> lock(stats_mu_);
       live_.erase(self->id);
     }
+    RecordFlight(*self, StatusCodeName(status.code()),
+                 /*queue_wait=*/0.0, /*service_seconds=*/0.0,
+                 self->ElapsedSeconds());
     if (self->release) {
       std::function<void()> release = std::move(self->release);
       self->release = nullptr;
@@ -183,15 +221,17 @@ uint64_t Server::SubmitAsync(const std::string& tenant, bool is_write,
 }
 
 template <typename T>
-Submitted<T> Server::Submit(const std::string& tenant, bool is_write,
-                            double deadline_seconds,
+Submitted<T> Server::Submit(const std::string& tenant, const char* verb,
+                            bool is_write, double deadline_seconds,
+                            std::shared_ptr<obs::RequestTrace> trace,
                             std::function<T(Session&, PendingRequest&)> run,
                             std::function<T(const Status&)> on_fail) {
   auto promise = std::make_shared<std::promise<T>>();
   Submitted<T> out;
   out.future = promise->get_future();
   out.id = SubmitAsync<T>(
-      tenant, is_write, deadline_seconds, std::move(run), std::move(on_fail),
+      tenant, verb, is_write, deadline_seconds, std::move(trace),
+      std::move(run), std::move(on_fail),
       [promise](T reply) { promise->set_value(std::move(reply)); });
   return out;
 }
@@ -279,7 +319,9 @@ ServerStats Server::Stats() const {
   return stats;
 }
 
-void Server::RecordSearchStats(const SearchStats& stats) {
+void Server::RecordSearchStats(const SearchStats& stats,
+                               search::SearchPolicy policy,
+                               PendingRequest* pending) {
   search_expansions_.fetch_add(static_cast<uint64_t>(stats.expansions),
                                std::memory_order_relaxed);
   search_lb_prunes_.fetch_add(static_cast<uint64_t>(stats.lb_prunes),
@@ -287,6 +329,159 @@ void Server::RecordSearchStats(const SearchStats& stats) {
   search_incumbents_.fetch_add(
       static_cast<uint64_t>(stats.incumbent_improvements),
       std::memory_order_relaxed);
+  const size_t idx = static_cast<size_t>(policy);
+  if (idx < policy_search_.size()) {
+    PolicySearchAgg& agg = policy_search_[idx];
+    agg.requests.fetch_add(1, std::memory_order_relaxed);
+    agg.expansions.fetch_add(static_cast<uint64_t>(stats.expansions),
+                             std::memory_order_relaxed);
+    agg.visited.fetch_add(static_cast<uint64_t>(stats.states_visited),
+                          std::memory_order_relaxed);
+  }
+  if (pending != nullptr) {
+    // Accumulate (a sweep calls this once per batch entry) for the
+    // request's flight record.
+    pending->search_states_visited += stats.states_visited;
+    pending->search_expansions += static_cast<uint64_t>(stats.expansions);
+  }
+}
+
+void Server::RecordFlight(const PendingRequest& req, const char* status_label,
+                          double queue_wait, double service_seconds,
+                          double total_seconds) {
+  if (recorder_ == nullptr) return;
+  obs::FlightRecord record;
+  record.id = req.id;
+  record.tenant = req.tenant;
+  record.verb = req.verb;
+  record.status = status_label;
+  record.queue_wait_seconds = queue_wait;
+  record.service_seconds = service_seconds;
+  record.total_seconds = total_seconds;
+  record.search_states_visited = req.search_states_visited;
+  record.search_expansions = req.search_expansions;
+  record.traced = req.trace != nullptr;
+  slow_log_->MaybeLog(record, req.trace.get());
+  recorder_->Record(std::move(record));
+}
+
+std::vector<obs::FlightRecord> Server::RecentRequests(size_t limit) const {
+  if (recorder_ == nullptr) return {};
+  return recorder_->Recent(limit);
+}
+
+uint64_t Server::SlowRequestsSeen() const {
+  return slow_log_ != nullptr ? slow_log_->SlowSeen() : 0;
+}
+
+void Server::CollectMetrics(obs::Collector& out) const {
+  // Request flow (service layer). The server's atomics stay authoritative;
+  // the probe only samples them, so two servers publishing into the same
+  // registry never mix counts into one shared Counter.
+  out.CounterSample("retrust_requests_submitted_total", {},
+                    submitted_.load(std::memory_order_relaxed));
+  out.CounterSample("retrust_requests_completed_total", {},
+                    completed_.load(std::memory_order_relaxed));
+  out.CounterSample("retrust_requests_cancelled_total", {},
+                    cancelled_.load(std::memory_order_relaxed));
+  out.CounterSample("retrust_requests_expired_total", {},
+                    expired_.load(std::memory_order_relaxed));
+  const AdmissionController::RejectionCounts rejected =
+      admission_.Rejections();
+  out.CounterSample("retrust_requests_rejected_total",
+                    {{"reason", "queue_full"}}, rejected.queue_full);
+  out.CounterSample("retrust_requests_rejected_total",
+                    {{"reason", "tenant_cap"}}, rejected.tenant_cap);
+  out.CounterSample("retrust_requests_rejected_total",
+                    {{"reason", "deadline"}}, rejected.deadline);
+  out.CounterSample("retrust_requests_rejected_total", {{"reason", "quota"}},
+                    rejected.quota);
+  out.CounterSample("retrust_quota_denials_total", {}, quota_.Denials());
+  out.Gauge("retrust_queue_depth", {},
+            static_cast<double>(queue_.Depth()));
+  out.Gauge("retrust_requests_in_flight", {},
+            static_cast<double>(queue_.InFlight()));
+  out.Gauge("retrust_admission_latency_ewma_seconds", {},
+            admission_.LatencyEwmaSeconds());
+
+  // Exec pools. The request workers park inside WorkerLoop for the whole
+  // process lifetime, so their pool's busy count is meaningless — request
+  // concurrency is the queue's in-flight gauge above. The shared session
+  // pool runs real short tasks and its utilization is genuine.
+  out.Gauge("retrust_request_workers", {},
+            static_cast<double>(opts_.workers < 1 ? 1 : opts_.workers));
+  if (session_pool_ != nullptr) {
+    const exec::PoolStats pool = session_pool_->GetStats();
+    out.Gauge("retrust_session_pool_threads", {},
+              static_cast<double>(pool.threads));
+    out.Gauge("retrust_session_pool_busy", {},
+              static_cast<double>(pool.busy));
+    out.Gauge("retrust_session_pool_queued", {},
+              static_cast<double>(pool.queued));
+    out.CounterSample("retrust_session_pool_tasks_total", {}, pool.executed);
+  }
+
+  // Latency split, as quantile series.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out.Histogram("retrust_request_latency_seconds", {}, latency_);
+    out.Histogram("retrust_queue_wait_seconds", {}, queue_wait_);
+    out.Histogram("retrust_service_seconds", {}, service_);
+  }
+
+  // Search engine aggregates, total and per policy.
+  out.CounterSample("retrust_search_expansions_total", {},
+                    search_expansions_.load(std::memory_order_relaxed));
+  out.CounterSample("retrust_search_lb_prunes_total", {},
+                    search_lb_prunes_.load(std::memory_order_relaxed));
+  out.CounterSample("retrust_search_incumbents_total", {},
+                    search_incumbents_.load(std::memory_order_relaxed));
+  for (size_t i = 0; i < policy_search_.size(); ++i) {
+    const PolicySearchAgg& agg = policy_search_[i];
+    const uint64_t requests = agg.requests.load(std::memory_order_relaxed);
+    if (requests == 0) continue;  // don't mint series for unused policies
+    const obs::Labels labels = {
+        {"policy", search::PolicyName(static_cast<search::SearchPolicy>(i))}};
+    out.CounterSample("retrust_search_requests_total", labels, requests);
+    out.CounterSample("retrust_search_policy_expansions_total", labels,
+                      agg.expansions.load(std::memory_order_relaxed));
+    out.CounterSample("retrust_search_policy_visited_total", labels,
+                      agg.visited.load(std::memory_order_relaxed));
+  }
+
+  // Session layer: context caches summed across loaded tenants (StatsFor
+  // never forces a lazy open).
+  uint64_t cache_hits = 0, cache_misses = 0, cache_evictions = 0;
+  size_t cache_entries = 0, cache_bytes = 0;
+  int registered = 0, loaded = 0;
+  for (const std::string& name : tenants_.Names()) {
+    Result<TenantStats> tenant = tenants_.StatsFor(name);
+    if (!tenant.ok()) continue;
+    ++registered;
+    if (!tenant->loaded) continue;
+    ++loaded;
+    cache_hits += tenant->cache.hits;
+    cache_misses += tenant->cache.misses;
+    cache_evictions += tenant->cache.evictions;
+    cache_entries += tenant->cache.cached;
+    cache_bytes += tenant->cache.bytes_estimate;
+  }
+  out.Gauge("retrust_tenants_registered", {},
+            static_cast<double>(registered));
+  out.Gauge("retrust_tenants_loaded", {}, static_cast<double>(loaded));
+  out.CounterSample("retrust_context_cache_hits_total", {}, cache_hits);
+  out.CounterSample("retrust_context_cache_misses_total", {}, cache_misses);
+  out.CounterSample("retrust_context_cache_evictions_total", {},
+                    cache_evictions);
+  out.Gauge("retrust_context_cache_entries", {},
+            static_cast<double>(cache_entries));
+  out.Gauge("retrust_context_cache_bytes_estimate", {},
+            static_cast<double>(cache_bytes));
+
+  // Flight recorder / slow log (non-null whenever this probe exists).
+  out.CounterSample("retrust_flight_records_total", {},
+                    recorder_->TotalRecorded());
+  out.CounterSample("retrust_slow_requests_total", {}, slow_log_->SlowSeen());
 }
 
 Result<TenantStats> Server::TenantStatsFor(const std::string& name) const {
@@ -345,13 +540,16 @@ uint64_t Client::RepairAsync(const std::string& tenant,
     return 0;
   }
   return server_->SubmitAsync<Result<RepairResponse>>(
-      tenant, /*is_write=*/false, req.deadline_seconds,
+      tenant, "repair", /*is_write=*/false, req.deadline_seconds, req.trace,
       [req, server = server_](Session& session, PendingRequest& pending) {
         RepairRequest r = req;
         r.deadline_seconds = pending.RemainingDeadline();
         r.cancel = &pending.cancel;
         Result<RepairResponse> response = session.Repair(r);
-        if (response.ok()) server->RecordSearchStats(response->repair.stats);
+        if (response.ok()) {
+          server->RecordSearchStats(response->repair.stats, req.policy,
+                                    &pending);
+        }
         return response;
       },
       FailAsResult<RepairResponse>(), std::move(done));
@@ -365,13 +563,16 @@ uint64_t Client::SearchAsync(const std::string& tenant,
     return 0;
   }
   return server_->SubmitAsync<Result<SearchProbe>>(
-      tenant, /*is_write=*/false, req.deadline_seconds,
+      tenant, "search", /*is_write=*/false, req.deadline_seconds, req.trace,
       [req, server = server_](Session& session, PendingRequest& pending) {
         RepairRequest r = req;
         r.deadline_seconds = pending.RemainingDeadline();
         r.cancel = &pending.cancel;
         Result<SearchProbe> probe = session.Search(r);
-        if (probe.ok()) server->RecordSearchStats(probe->result.stats);
+        if (probe.ok()) {
+          server->RecordSearchStats(probe->result.stats, req.policy,
+                                    &pending);
+        }
         return probe;
       },
       FailAsResult<SearchProbe>(), std::move(done));
@@ -382,15 +583,19 @@ uint64_t Client::SweepAsync(
     std::function<void(std::vector<Result<RepairResponse>>)> done) {
   const size_t n = reqs.size();
   return server_->SubmitAsync<std::vector<Result<RepairResponse>>>(
-      tenant, /*is_write=*/false, /*deadline_seconds=*/0.0,
+      tenant, "sweep", /*is_write=*/false, /*deadline_seconds=*/0.0,
+      /*trace=*/nullptr,
       [reqs = std::move(reqs), server = server_](Session& session,
                                                  PendingRequest& pending) {
         std::vector<RepairRequest> wired = reqs;
         for (RepairRequest& r : wired) r.cancel = &pending.cancel;
         std::vector<Result<RepairResponse>> replies =
             session.RepairMany(wired);
-        for (const Result<RepairResponse>& reply : replies) {
-          if (reply.ok()) server->RecordSearchStats(reply->repair.stats);
+        for (size_t i = 0; i < replies.size(); ++i) {
+          if (replies[i].ok()) {
+            server->RecordSearchStats(replies[i]->repair.stats,
+                                      wired[i].policy, &pending);
+          }
         }
         return replies;
       },
@@ -406,7 +611,8 @@ uint64_t Client::SweepAsync(
 uint64_t Client::ApplyAsync(const std::string& tenant, DeltaBatch delta,
                             std::function<void(Result<ApplyStats>)> done) {
   return server_->SubmitAsync<Result<ApplyStats>>(
-      tenant, /*is_write=*/true, /*deadline_seconds=*/0.0,
+      tenant, "apply_delta", /*is_write=*/true, /*deadline_seconds=*/0.0,
+      /*trace=*/nullptr,
       [delta = std::move(delta)](Session& session, PendingRequest&) {
         return session.Apply(delta);
       },
@@ -421,7 +627,8 @@ uint64_t Client::SaveSnapshotAsync(
   // registry call (not a bare Session::SaveSnapshot) also records the
   // snapshot as the tenant's reload spec.
   return server_->SubmitAsync<Result<std::string>>(
-      tenant, /*is_write=*/true, /*deadline_seconds=*/0.0,
+      tenant, "save_snapshot", /*is_write=*/true, /*deadline_seconds=*/0.0,
+      /*trace=*/nullptr,
       [server = server_, tenant, path = std::move(path)](
           Session&, PendingRequest&) -> Result<std::string> {
         Status saved = server->tenants_.SaveSnapshot(tenant, path);
@@ -437,7 +644,8 @@ uint64_t Client::UnloadTenantAsync(const std::string& tenant,
   // and trigger the transparent reload. tolerated_pins = 1 because the
   // worker loop executing THIS verb holds the session it resolved.
   return server_->SubmitAsync<Result<bool>>(
-      tenant, /*is_write=*/true, /*deadline_seconds=*/0.0,
+      tenant, "unload_tenant", /*is_write=*/true, /*deadline_seconds=*/0.0,
+      /*trace=*/nullptr,
       [server = server_, tenant](Session&, PendingRequest&) -> Result<bool> {
         Status unloaded = server->tenants_.Unload(tenant,
                                                   /*tolerated_pins=*/1);

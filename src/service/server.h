@@ -33,6 +33,7 @@
 #ifndef RETRUST_SERVICE_SERVER_H_
 #define RETRUST_SERVICE_SERVER_H_
 
+#include <array>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -45,6 +46,9 @@
 
 #include "src/api/session.h"
 #include "src/exec/thread_pool.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/service/admission.h"
 #include "src/service/queue.h"
 #include "src/service/quota.h"
@@ -85,6 +89,21 @@ struct ServerOptions {
   /// Injectable quota clock (monotone seconds; null = steady_clock) so
   /// tests can step refill time deterministically.
   std::function<double()> quota_clock;
+  /// Master switch for the observability layer (metrics probe, flight
+  /// recorder, slow-request log). Off = the server touches no registry and
+  /// records nothing — the A/B baseline the overhead bench gate compares
+  /// against. Per-request tracing is independent of this switch: it costs
+  /// nothing unless a request carries a trace.
+  bool observability = true;
+  /// Registry the server publishes into (null = MetricsRegistry::Global()).
+  /// Tests and benches inject a private registry so concurrent servers do
+  /// not share series (registry counters are get-or-create by name).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Finished-request records the flight recorder retains (clamped >= 1).
+  size_t flight_recorder_capacity = 256;
+  /// Requests slower than this (end-to-end) are logged to stderr with
+  /// their span tree, rate-limited to one line per second (0 = disabled).
+  double slow_request_seconds = 0.0;
 };
 
 /// A submitted request: its server-assigned id (usable with
@@ -214,6 +233,15 @@ class Server {
   Result<TenantStats> TenantStatsFor(const std::string& name) const;
   std::vector<std::string> TenantNames() const { return tenants_.Names(); }
 
+  /// The registry this server publishes into (null when observability is
+  /// off). The wire `metrics` verb serves its ExpositionText().
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  /// Newest-first flight records (0 = all retained; empty when
+  /// observability is off). The wire `dump_recent` verb serves this.
+  std::vector<obs::FlightRecord> RecentRequests(size_t limit = 0) const;
+  /// Requests seen over the slow threshold (logged or rate-suppressed).
+  uint64_t SlowRequestsSeen() const;
+
   /// Maintenance gate: Pause stops dispatch (admission keeps running, the
   /// queue fills), Resume drains. See ServerOptions::start_paused.
   void Pause();
@@ -237,8 +265,9 @@ class Server {
   /// thread, or synchronously on the caller's for pre-admission
   /// rejections. Returns the request id.
   template <typename T>
-  uint64_t SubmitAsync(const std::string& tenant, bool is_write,
-                       double deadline_seconds,
+  uint64_t SubmitAsync(const std::string& tenant, const char* verb,
+                       bool is_write, double deadline_seconds,
+                       std::shared_ptr<obs::RequestTrace> trace,
                        std::function<T(Session&, PendingRequest&)> run,
                        std::function<T(const Status&)> on_fail,
                        std::function<void(T)> done);
@@ -246,8 +275,9 @@ class Server {
   /// Future-returning convenience over SubmitAsync (the in-process Client
   /// verbs).
   template <typename T>
-  Submitted<T> Submit(const std::string& tenant, bool is_write,
-                      double deadline_seconds,
+  Submitted<T> Submit(const std::string& tenant, const char* verb,
+                      bool is_write, double deadline_seconds,
+                      std::shared_ptr<obs::RequestTrace> trace,
                       std::function<T(Session&, PendingRequest&)> run,
                       std::function<T(const Status&)> on_fail);
 
@@ -255,9 +285,26 @@ class Server {
   void WorkerLoop();
 
   /// Folds one executed search's counters into the server-wide aggregates
-  /// (ServerStats::search_*). Called by the verb lambdas on the worker
-  /// threads — lock-free atomics, no stats_mu_.
-  void RecordSearchStats(const SearchStats& stats);
+  /// (ServerStats::search_* plus the per-policy series) and into the
+  /// request's flight-record fields. Called by the verb lambdas on the
+  /// worker threads — lock-free atomics, no stats_mu_.
+  void RecordSearchStats(const SearchStats& stats,
+                         search::SearchPolicy policy,
+                         PendingRequest* pending);
+
+  /// The metrics probe body: samples every layer (request flow, queue,
+  /// admission, quota, pools, latency histograms, search aggregates,
+  /// tenant context caches, flight recorder) into `out`. Runs under the
+  /// registry mutex at exposition time; must never call back into the
+  /// registry.
+  void CollectMetrics(obs::Collector& out) const;
+
+  /// Writes the terminal flight record (and feeds the slow-request log on
+  /// the executed path, where a span tree may exist). No-op when
+  /// observability is off.
+  void RecordFlight(const PendingRequest& req, const char* status_label,
+                    double queue_wait, double service_seconds,
+                    double total_seconds);
 
   ServerOptions opts_;
   /// Shared session pool (sweeps + deltas of ALL tenants); null when
@@ -279,6 +326,21 @@ class Server {
   std::atomic<uint64_t> search_lb_prunes_{0};
   std::atomic<uint64_t> search_incumbents_{0};
 
+  /// Per-policy search aggregates, indexed by search::SearchPolicy, for
+  /// the `retrust_search_requests_total{policy=...}` series family.
+  struct PolicySearchAgg {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> expansions{0};
+    std::atomic<uint64_t> visited{0};
+  };
+  std::array<PolicySearchAgg, 3> policy_search_{};
+
+  /// Observability components; all null/absent when
+  /// ServerOptions::observability is false.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::unique_ptr<obs::SlowRequestLog> slow_log_;
+
   mutable std::mutex stats_mu_;  ///< live_, histograms, completed_by_tenant_
   std::map<uint64_t, std::shared_ptr<PendingRequest>> live_;
   LatencyHistogram latency_;      ///< end-to-end: submit -> reply
@@ -291,6 +353,10 @@ class Server {
   /// Declared last: destroyed first, joining the workers after Stop()
   /// released them from the queue.
   std::unique_ptr<exec::ThreadPool> worker_pool_;
+  /// After worker_pool_ so it is destroyed FIRST: the probe samples every
+  /// member above, and unregistration (under the registry mutex) means no
+  /// exposition can still be running through this server afterwards.
+  obs::MetricsRegistry::Registration metrics_probe_;
 };
 
 }  // namespace retrust::service

@@ -1,70 +1,21 @@
-// Observability types of the service layer: a fixed log-bucketed latency
-// histogram plus the ServerStats / TenantStats snapshots the in-process
-// Client and the `stats` wire verb report.
-//
-// The histogram trades precision for a fixed footprint: 64 geometric
-// buckets spanning [1 µs, ~200 s] (ratio ≈ 1.38), so recording is O(1),
-// snapshots are cheap to copy, and percentiles are read without touching
-// the raw samples. Callers provide locking (the Server records under its
-// stats mutex).
+// Observability types of the service layer: the ServerStats / TenantStats
+// snapshots the in-process Client and the `stats` wire verb report. The
+// latency histogram they are built from lives in src/obs/histogram.h,
+// shared with the process-wide metrics registry; the alias below keeps
+// service call sites unchanged.
 
 #ifndef RETRUST_SERVICE_STATS_H_
 #define RETRUST_SERVICE_STATS_H_
 
-#include <array>
-#include <cmath>
 #include <cstdint>
 #include <string>
 
 #include "src/api/session.h"
+#include "src/obs/histogram.h"
 
 namespace retrust::service {
 
-/// Fixed-size latency histogram; Percentile reports a bucket upper bound,
-/// so p50/p99 are conservative (never under-report).
-class LatencyHistogram {
- public:
-  static constexpr int kBuckets = 64;
-
-  void Record(double seconds) {
-    ++counts_[BucketOf(seconds)];
-    ++total_;
-  }
-
-  /// Latency at quantile `q` in [0, 1] (0 when nothing was recorded).
-  double Percentile(double q) const {
-    if (total_ == 0) return 0.0;
-    uint64_t want = static_cast<uint64_t>(std::ceil(q * total_));
-    if (want < 1) want = 1;
-    uint64_t seen = 0;
-    for (int b = 0; b < kBuckets; ++b) {
-      seen += counts_[b];
-      if (seen >= want) return UpperBound(b);
-    }
-    return UpperBound(kBuckets - 1);
-  }
-
-  uint64_t count() const { return total_; }
-
- private:
-  static constexpr double kMinSeconds = 1e-6;
-  static constexpr double kRatio = 1.38;  // 1e-6 * 1.38^63 ≈ 6e2 s
-
-  static int BucketOf(double seconds) {
-    if (!(seconds > kMinSeconds)) return 0;  // also catches NaN/negative
-    int b = static_cast<int>(std::log(seconds / kMinSeconds) /
-                             std::log(kRatio)) +
-            1;
-    return b >= kBuckets ? kBuckets - 1 : b;
-  }
-
-  static double UpperBound(int bucket) {
-    return kMinSeconds * std::pow(kRatio, bucket);
-  }
-
-  std::array<uint64_t, kBuckets> counts_{};
-  uint64_t total_ = 0;
-};
+using LatencyHistogram = obs::LatencyHistogram;
 
 /// One snapshot of the server's request-flow counters. An admitted
 /// request lands in exactly one terminal counter: expired_in_queue,

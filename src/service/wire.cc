@@ -400,6 +400,10 @@ Result<RepairRequest> RepairRequestFromJson(const Json& obj) {
     }
     req.deadline_seconds = deadline->AsNumber();
   }
+  if (const Json* trace = obj.Get("trace")) {
+    if (!trace->is_bool()) return WireError("'trace' must be a boolean");
+    if (trace->AsBool()) req.trace = std::make_shared<obs::RequestTrace>();
+  }
   return req;
 }
 
@@ -630,6 +634,35 @@ Json ToJson(const TenantStats& stats) {
     cache["contexts"] = Json(std::move(contexts));
     obj["cache"] = Json(std::move(cache));
   }
+  return Json(std::move(obj));
+}
+
+Json ToJson(const obs::TraceSpan& span) {
+  Json::Object obj;
+  obj["name"] = Json(span.name());
+  obj["seconds"] = Json(span.seconds());
+  if (span.count() != 1) obj["count"] = Json(span.count());
+  if (!span.children().empty()) {
+    Json::Array spans;
+    spans.reserve(span.children().size());
+    for (const auto& child : span.children()) spans.push_back(ToJson(*child));
+    obj["spans"] = Json(std::move(spans));
+  }
+  return Json(std::move(obj));
+}
+
+Json ToJson(const obs::FlightRecord& record) {
+  Json::Object obj;
+  obj["id"] = Json(record.id);
+  obj["tenant"] = Json(record.tenant);
+  obj["verb"] = Json(record.verb);
+  obj["status"] = Json(record.status);
+  obj["queue_wait_seconds"] = Json(record.queue_wait_seconds);
+  obj["service_seconds"] = Json(record.service_seconds);
+  obj["total_seconds"] = Json(record.total_seconds);
+  obj["search_states_visited"] = Json(record.search_states_visited);
+  obj["search_expansions"] = Json(record.search_expansions);
+  obj["traced"] = Json(record.traced);
   return Json(std::move(obj));
 }
 

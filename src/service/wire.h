@@ -21,11 +21,15 @@
 //   {"op":"save_snapshot","tenant":"hosp",
 //    "path":"hosp.snap"}                          consistent-cut snapshot
 //   {"op":"unload_tenant","tenant":"hosp"}        release session memory
+//   {"op":"metrics"}                              registry exposition text
+//   {"op":"dump_recent"} / {...,"limit":20}       flight-recorder dump
 //   {"op":"shutdown"}
 //
 // Optional repair fields: "mode" ("astar"|"best_first"), "seed",
 // "budget", "deadline_seconds" (the END-TO-END service deadline), "id"
-// (any JSON value, echoed in the response untouched).
+// (any JSON value, echoed in the response untouched), and "trace" (true =
+// the reply carries a "trace" span tree of where the request spent its
+// time; absent/false = the reply is byte-identical to the untraced one).
 //
 // Responses: {"ok":true, ...verb fields...} or
 // {"ok":false,"error":"<StatusCodeName>","message":"..."} — plus the
@@ -40,6 +44,7 @@
 #include <vector>
 
 #include "src/api/session.h"
+#include "src/obs/flight_recorder.h"
 #include "src/service/stats.h"
 
 namespace retrust::service {
@@ -121,6 +126,10 @@ Json ToJson(const SearchProbe& probe);
 Json ToJson(const ApplyStats& stats);
 Json ToJson(const ServerStats& stats);
 Json ToJson(const TenantStats& stats);
+/// {"name":...,"seconds":...,"count":...,"spans":[...children...]} —
+/// "count"/"spans" are omitted when 1/empty, so plain spans stay small.
+Json ToJson(const obs::TraceSpan& span);
+Json ToJson(const obs::FlightRecord& record);
 
 }  // namespace retrust::service
 

@@ -1,0 +1,296 @@
+// Unit surface of the observability layer (named Obs* so CI's TSan job
+// runs it):
+//   * Counter / MetricsRegistry — get-or-create identity, sharded adds
+//     summing correctly under concurrency, sorted label rendering, probe
+//     RAII (a released Registration stops being sampled).
+//   * LatencyHistogram — Percentile clamps the bucket upper bound to the
+//     maximum recorded value, so a single sample reports itself instead
+//     of its bucket's geometric ceiling.
+//   * TraceSpan — tree building, idempotent Finish, phase-total
+//     conversion via AttachSearchPhases, RenderSpanTree shape.
+//   * FlightRecorder — ring wrap, newest-first Recent with and without a
+//     limit; SlowRequestLog threshold + rate limit.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/flight_recorder.h"
+#include "src/obs/histogram.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace retrust::obs {
+namespace {
+
+// --- Counter / MetricsRegistry -------------------------------------------
+
+TEST(ObsMetrics, GetCounterReturnsSameInstanceForSameSeries) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("requests", {{"verb", "repair"}});
+  Counter& b = registry.GetCounter("requests", {{"verb", "repair"}});
+  Counter& other = registry.GetCounter("requests", {{"verb", "stats"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+
+  a.Add();
+  b.Add(4);
+  EXPECT_EQ(a.Value(), 5u);
+  EXPECT_EQ(other.Value(), 0u);
+}
+
+TEST(ObsMetrics, ShardedCounterSumsConcurrentAdds) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(ObsMetrics, RenderSeriesSortsLabelsAndHandlesEmpty) {
+  EXPECT_EQ(MetricsRegistry::RenderSeries("up", {}), "up");
+  EXPECT_EQ(MetricsRegistry::RenderSeries(
+                "reqs", {{"verb", "repair"}, {"tenant", "a"}}),
+            "reqs{tenant=\"a\",verb=\"repair\"}");
+}
+
+TEST(ObsMetrics, ExpositionTextIsSortedAndCoversCountersAndProbes) {
+  MetricsRegistry registry;
+  registry.GetCounter("zz_total").Add(3);
+  registry.GetCounter("aa_total", {{"k", "v"}}).Add(1);
+  MetricsRegistry::Registration probe =
+      registry.RegisterProbe([](Collector& out) {
+        out.Gauge("mm_depth", {}, 7.0);
+        out.CounterSample("mm_done_total", {{"lane", "x"}}, 42);
+      });
+
+  std::string text = registry.ExpositionText();
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "aa_total{k=\"v\"} 1");
+  EXPECT_EQ(lines[1], "mm_depth 7");
+  EXPECT_EQ(lines[2], "mm_done_total{lane=\"x\"} 42");
+  EXPECT_EQ(lines[3], "zz_total 3");
+  EXPECT_EQ(registry.SeriesCount(), 4u);
+}
+
+TEST(ObsMetrics, ReleasedProbeStopsBeingSampled) {
+  MetricsRegistry registry;
+  {
+    MetricsRegistry::Registration probe = registry.RegisterProbe(
+        [](Collector& out) { out.Gauge("ephemeral", {}, 1.0); });
+    EXPECT_NE(registry.ExpositionText().find("ephemeral"), std::string::npos);
+  }
+  EXPECT_EQ(registry.ExpositionText().find("ephemeral"), std::string::npos);
+  EXPECT_EQ(registry.SeriesCount(), 0u);
+
+  // Release() directly (not just destruction) and moved-from handles.
+  MetricsRegistry::Registration a = registry.RegisterProbe(
+      [](Collector& out) { out.Gauge("moved", {}, 2.0); });
+  MetricsRegistry::Registration b = std::move(a);
+  EXPECT_NE(registry.ExpositionText().find("moved"), std::string::npos);
+  b.Release();
+  EXPECT_EQ(registry.ExpositionText().find("moved"), std::string::npos);
+}
+
+TEST(ObsMetrics, HistogramSampleExpandsToQuantilesAndCount) {
+  MetricsRegistry registry;
+  LatencyHistogram hist;
+  hist.Record(0.010);
+  hist.Record(0.020);
+  MetricsRegistry::Registration probe = registry.RegisterProbe(
+      [&hist](Collector& out) { out.Histogram("lat_seconds", {}, hist); });
+
+  std::string text = registry.ExpositionText();
+  EXPECT_NE(text.find("lat_seconds{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 2"), std::string::npos);
+}
+
+// --- LatencyHistogram percentile clamp -----------------------------------
+
+TEST(ObsHistogram, PercentileClampsBucketBoundToObservedMax) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.Percentile(0.5), 0.0);  // empty
+
+  // One sample: every quantile IS that sample, not its bucket's geometric
+  // upper bound (which for 1.0 s would be ~1.17 s).
+  hist.Record(1.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.99), 1.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.max_seconds(), 1.0);
+}
+
+TEST(ObsHistogram, PercentileStaysConservativeAcrossBuckets) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 99; ++i) hist.Record(0.001);
+  hist.Record(0.5);
+
+  // p50 falls in the 1 ms bucket: at least the sample, at most its bucket
+  // ceiling (one kRatio step above).
+  double p50 = hist.Percentile(0.5);
+  EXPECT_GE(p50, 0.001);
+  EXPECT_LE(p50, 0.001 * 1.38 * 1.01);
+  // p100 lands in the 0.5 s bucket but must clamp to the max sample.
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 0.5);
+}
+
+TEST(ObsHistogram, ExtremeSamplesStayInRange) {
+  LatencyHistogram hist;
+  hist.Record(0.0);   // below the first bucket
+  hist.Record(1e9);   // beyond the last bucket: saturates at its ceiling
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_DOUBLE_EQ(hist.max_seconds(), 1e9);
+  double p100 = hist.Percentile(1.0);
+  EXPECT_GT(p100, 100.0);  // the last bucket's bound, far above any sample
+  EXPECT_LE(p100, 1e9);    // but never past the observed max
+  EXPECT_GE(hist.Percentile(0.25), 0.0);
+}
+
+// --- TraceSpan -----------------------------------------------------------
+
+TEST(ObsTrace, SpanTreeBuildsAndFinishIsIdempotent) {
+  TraceSpan root("request");
+  TraceSpan* child = root.StartChild("service");
+  TraceSpan* grand = child->StartChild("session");
+  grand->Finish();
+  child->Finish();
+  root.set_seconds(1.5);
+  root.Finish();  // first set_seconds/Finish wins
+  EXPECT_DOUBLE_EQ(root.seconds(), 1.5);
+  ASSERT_EQ(root.children().size(), 1u);
+  EXPECT_EQ(root.children()[0]->name(), "service");
+  ASSERT_EQ(child->children().size(), 1u);
+  EXPECT_GE(grand->seconds(), 0.0);
+}
+
+TEST(ObsTrace, AttachSearchPhasesEmitsOnlyNonEmptyPhases) {
+  SearchPhaseStats phases;
+  phases.expand_count = 10;
+  phases.expand_seconds = 0.25;
+  phases.cover_count = 3;
+  phases.cover_seconds = 0.05;
+  EXPECT_TRUE(phases.any());
+
+  TraceSpan search("search");
+  AttachSearchPhases(&search, phases);
+  ASSERT_EQ(search.children().size(), 2u);
+  EXPECT_EQ(search.children()[0]->name(), "expand");
+  EXPECT_EQ(search.children()[0]->count(), 10u);
+  EXPECT_DOUBLE_EQ(search.children()[0]->seconds(), 0.25);
+  EXPECT_EQ(search.children()[1]->name(), "cover");
+  EXPECT_EQ(search.children()[1]->count(), 3u);
+
+  TraceSpan empty("search");
+  AttachSearchPhases(&empty, SearchPhaseStats{});
+  EXPECT_TRUE(empty.children().empty());
+}
+
+TEST(ObsTrace, SessionParentPrefersServiceSpan) {
+  RequestTrace trace;
+  EXPECT_EQ(trace.SessionParent(), &trace.root);
+  trace.service = trace.root.StartChild("service");
+  EXPECT_EQ(trace.SessionParent(), trace.service);
+}
+
+TEST(ObsTrace, RenderSpanTreeIndentsAndShowsCounts) {
+  TraceSpan root("request");
+  root.set_seconds(0.5);
+  TraceSpan* service = root.StartChild("service");
+  service->set_seconds(0.4);
+  TraceSpan* expand = service->StartChild("expand");
+  expand->set_seconds(0.1);
+  expand->set_count(42);
+
+  std::string text = RenderSpanTree(root);
+  EXPECT_NE(text.find("request"), std::string::npos);
+  EXPECT_NE(text.find("  service"), std::string::npos);
+  EXPECT_NE(text.find("    expand"), std::string::npos);
+  EXPECT_NE(text.find("x42"), std::string::npos);
+}
+
+// --- FlightRecorder ------------------------------------------------------
+
+FlightRecord MakeRecord(uint64_t id, double total = 0.01) {
+  FlightRecord record;
+  record.id = id;
+  record.tenant = "t";
+  record.verb = "repair";
+  record.status = "ok";
+  record.total_seconds = total;
+  return record;
+}
+
+TEST(ObsFlightRecorder, RingKeepsNewestAndWraps) {
+  FlightRecorder recorder(3);
+  EXPECT_EQ(recorder.capacity(), 3u);
+  for (uint64_t id = 1; id <= 5; ++id) recorder.Record(MakeRecord(id));
+
+  std::vector<FlightRecord> recent = recorder.Recent();
+  ASSERT_EQ(recent.size(), 3u);  // 4 and 5 wrapped over 1 and 2
+  EXPECT_EQ(recent[0].id, 5u);   // newest first
+  EXPECT_EQ(recent[1].id, 4u);
+  EXPECT_EQ(recent[2].id, 3u);
+  EXPECT_EQ(recorder.TotalRecorded(), 5u);
+
+  std::vector<FlightRecord> limited = recorder.Recent(2);
+  ASSERT_EQ(limited.size(), 2u);
+  EXPECT_EQ(limited[0].id, 5u);
+  EXPECT_EQ(limited[1].id, 4u);
+}
+
+TEST(ObsFlightRecorder, PartialRingReturnsOnlyRecorded) {
+  FlightRecorder recorder(8);
+  recorder.Record(MakeRecord(1));
+  recorder.Record(MakeRecord(2));
+  std::vector<FlightRecord> recent = recorder.Recent();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].id, 2u);
+  EXPECT_EQ(recent[1].id, 1u);
+}
+
+TEST(ObsFlightRecorder, ZeroCapacityStillHoldsOne) {
+  FlightRecorder recorder(0);
+  EXPECT_EQ(recorder.capacity(), 1u);
+  recorder.Record(MakeRecord(1));
+  recorder.Record(MakeRecord(2));
+  std::vector<FlightRecord> recent = recorder.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].id, 2u);
+}
+
+TEST(ObsSlowLog, ThresholdGatesAndRateLimits) {
+  SlowRequestLog log(/*threshold_seconds=*/0.1, /*min_interval_seconds=*/3600);
+  EXPECT_FALSE(log.MaybeLog(MakeRecord(1, 0.05), nullptr));  // under
+  EXPECT_EQ(log.SlowSeen(), 0u);
+
+  EXPECT_TRUE(log.MaybeLog(MakeRecord(2, 0.5), nullptr));  // first slow logs
+  // Second slow request inside the interval is counted but suppressed.
+  EXPECT_FALSE(log.MaybeLog(MakeRecord(3, 0.5), nullptr));
+  EXPECT_EQ(log.SlowSeen(), 2u);
+}
+
+TEST(ObsSlowLog, DisabledThresholdNeverLogs) {
+  SlowRequestLog log(/*threshold_seconds=*/0.0, /*min_interval_seconds=*/0.0);
+  EXPECT_FALSE(log.MaybeLog(MakeRecord(1, 100.0), nullptr));
+  EXPECT_EQ(log.SlowSeen(), 0u);
+}
+
+}  // namespace
+}  // namespace retrust::obs

@@ -5,6 +5,9 @@
 //                  [--snapshot-dir DIR] [--max-tenant-bytes B]
 //                  [--reader-threads R] [--pipeline-depth P]
 //                  [--quota-rate TOKENS_PER_SEC] [--quota-burst TOKENS]
+//                  [--metrics-dump-interval SECONDS]
+//                  [--slow-request-seconds SECONDS]
+//                  [--flight-records N] [--no-observability]
 //                  [--tenant NAME=FILE.csv:FD[;FD...]]...
 //                  [--tenant-snapshot NAME=FILE.snap]...
 //
@@ -32,11 +35,24 @@
 //
 // once the socket is ready, so wrappers (CI's service smoke) can parse
 // the chosen port.
+//
+// Observability (src/obs/): the `metrics` verb serves the process
+// registry's exposition text, `dump_recent` dumps the flight recorder,
+// and repairs with `"trace": true` return their span tree inline.
+// `--metrics-dump-interval N` additionally prints the exposition to
+// stderr every N seconds (0 = off, the default); `--slow-request-seconds`
+// logs requests over the threshold with their span tree;
+// `--flight-records` sizes the recorder ring; `--no-observability`
+// disables all of it (the overhead A/B baseline).
 
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/service/event_loop.h"
@@ -78,6 +94,7 @@ int main(int argc, char** argv) {
   EventLoop::Options loop_opts;
   std::vector<std::string> tenant_specs;
   std::vector<std::string> snapshot_specs;
+  double metrics_dump_interval = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -128,6 +145,20 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) { std::fprintf(stderr, "--quota-burst needs a value\n"); return 2; }
       opts.default_quota.burst = std::atof(v);
+    } else if (arg == "--metrics-dump-interval") {
+      const char* v = next();
+      if (v == nullptr) { std::fprintf(stderr, "--metrics-dump-interval needs a value\n"); return 2; }
+      metrics_dump_interval = std::atof(v);
+    } else if (arg == "--slow-request-seconds") {
+      const char* v = next();
+      if (v == nullptr) { std::fprintf(stderr, "--slow-request-seconds needs a value\n"); return 2; }
+      opts.slow_request_seconds = std::atof(v);
+    } else if (arg == "--flight-records") {
+      const char* v = next();
+      if (v == nullptr) { std::fprintf(stderr, "--flight-records needs a value\n"); return 2; }
+      opts.flight_recorder_capacity = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--no-observability") {
+      opts.observability = false;
     } else if (arg == "--tenant") {
       const char* v = next();
       if (v == nullptr) { std::fprintf(stderr, "--tenant needs NAME=FILE.csv:FD[;FD]\n"); return 2; }
@@ -184,7 +215,34 @@ int main(int argc, char** argv) {
   std::printf("retrust_server listening on 127.0.0.1:%d\n", loop.port());
   std::fflush(stdout);
 
+  // Periodic exposition dump to stderr, for deployments scraped by log
+  // collectors instead of a pull endpoint.
+  std::thread dump_thread;
+  std::mutex dump_mu;
+  std::condition_variable dump_cv;
+  bool dump_stop = false;
+  if (metrics_dump_interval > 0.0 && server.metrics() != nullptr) {
+    dump_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(dump_mu);
+      const auto interval =
+          std::chrono::duration<double>(metrics_dump_interval);
+      while (!dump_cv.wait_for(lock, interval, [&] { return dump_stop; })) {
+        std::string text = server.metrics()->ExpositionText();
+        std::fprintf(stderr, "[retrust metrics]\n%s", text.c_str());
+        std::fflush(stderr);
+      }
+    });
+  }
+
   loop.WaitForShutdownRequest();
+  if (dump_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(dump_mu);
+      dump_stop = true;
+    }
+    dump_cv.notify_all();
+    dump_thread.join();
+  }
   // Order matters: the LOOP drains and stops first (pending replies reach
   // the wire), THEN the server joins its workers — so every in-flight
   // done-callback has fired before anything it touches is torn down.
